@@ -1,0 +1,41 @@
+"""Figure 3 bench: launchAndSpawn modeled vs measured breakdown.
+
+Regenerates the paper's series (16..128 daemons, 8 tasks/daemon) and
+asserts its headline properties: total under ~1 s of cluster time at 128
+daemons, LaunchMON's own share a small fraction, tracing cost
+scale-independent at ~18 ms, and model-measurement agreement.
+"""
+
+import pytest
+
+from repro.experiments import run_fig3
+from repro.experiments.fig3 import measure_launch_and_spawn
+
+
+@pytest.mark.benchmark(group="fig3")
+def bench_fig3_full_sweep(benchmark, paper_series):
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    benchmark.extra_info.update(paper_series(
+        result.rows, "daemons",
+        ["measured_total", "model_total", "lmon_frac"]))
+
+    row128 = result.row_for("daemons", 128)
+    assert row128["measured_total"] < 1.2          # paper: < 1 s
+    assert row128["lmon_frac"] < 0.12              # paper: ~5.2%
+    assert row128["model_total"] == pytest.approx(
+        row128["measured_total"], rel=0.15)        # model tracks measurement
+    # tracing cost: 18 ms at every scale
+    for row in result.rows:
+        assert row["tracing"] == pytest.approx(0.018, abs=0.004)
+
+
+@pytest.mark.benchmark(group="fig3")
+@pytest.mark.parametrize("n_daemons", [16, 64, 128])
+def bench_fig3_single_point(benchmark, n_daemons):
+    """Wall-clock cost of one measured launchAndSpawn at each scale."""
+    times, _, _ = benchmark.pedantic(
+        measure_launch_and_spawn, args=(n_daemons,), rounds=2, iterations=1)
+    benchmark.extra_info["virtual_total_s"] = round(times.total, 4)
+    benchmark.extra_info["virtual_lmon_frac"] = round(
+        times.launchmon_fraction(), 4)
+    assert times.total > 0

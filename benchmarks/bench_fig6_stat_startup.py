@@ -1,0 +1,43 @@
+"""Figure 6 bench: STAT start-up, MRNet-rsh vs LaunchMON (1-deep).
+
+Checks the paper's headline comparison: order-of-magnitude improvement at
+256 daemons, ad-hoc fork failure at 512 while LaunchMON completes in
+seconds, and the ~0.24 s/daemon ad-hoc slope.
+"""
+
+import pytest
+
+from repro.experiments import run_fig6
+from repro.experiments.fig6 import measure_stat_startup
+
+SWEEP = (4, 64, 256, 512)
+
+
+@pytest.mark.benchmark(group="fig6")
+def bench_fig6_full_sweep(benchmark, paper_series):
+    result = benchmark.pedantic(
+        run_fig6, kwargs={"node_counts": SWEEP}, rounds=1, iterations=1)
+    benchmark.extra_info.update(paper_series(
+        result.rows, "daemons", ["mrnet_1deep", "launchmon_1deep"]))
+
+    by = {r["daemons"]: r for r in result.rows}
+    # paper: 0.77 vs 0.46 at 4; 60.8 vs 3.57 at 256; fail vs 5.6 at 512
+    assert by[4]["mrnet_1deep"] == pytest.approx(0.77, rel=0.5)
+    assert by[4]["launchmon_1deep"] == pytest.approx(0.46, rel=0.35)
+    assert by[256]["mrnet_1deep"] == pytest.approx(60.8, rel=0.15)
+    assert by[256]["launchmon_1deep"] == pytest.approx(3.57, rel=0.25)
+    assert by[256]["speedup"] > 10          # "over an order of magnitude"
+    assert by[512]["mrnet_1deep"] is None   # consistent rsh-fork failure
+    assert "FAILED" in by[512]["mrnet_status"]
+    assert by[512]["launchmon_1deep"] < 8.0  # paper: 5.6 s
+    # the extrapolation note reproduces the paper's "two minutes"
+    assert any("extrapolation" in n for n in result.notes)
+
+
+@pytest.mark.benchmark(group="fig6")
+@pytest.mark.parametrize("mechanism", ["mrnet", "launchmon"])
+def bench_fig6_single_point_64(benchmark, mechanism):
+    box = benchmark.pedantic(
+        measure_stat_startup, args=(64, mechanism), rounds=1, iterations=1)
+    benchmark.extra_info["virtual_total_s"] = round(box["startup"].total, 4)
+    assert box["startup"].n_daemons == 64

@@ -1,0 +1,104 @@
+"""Microbenchmarks: the real data-path code under the simulation.
+
+These measure actual Python execution (not virtual time): the LMONP codec,
+RPDTAB serialization, prefix-tree merging, ICCL topology construction and
+the DES kernel's event throughput.
+"""
+
+import pytest
+
+from repro.be.iccl import TreeTopology
+from repro.lmonp import FrameDecoder, LmonpMessage, MsgClass, FeToBe
+from repro.mpir import ProcDesc, RPDTAB
+from repro.simx import Simulator
+from repro.tools.stat_tool import PrefixTree, merge_trees
+
+
+@pytest.mark.benchmark(group="micro-lmonp")
+def bench_lmonp_encode_decode(benchmark):
+    msg = LmonpMessage(MsgClass.FE_BE, FeToBe.PROCTAB, num_tasks=1024,
+                       lmon_payload=b"x" * 4096, usr_payload=b"y" * 512)
+
+    def roundtrip():
+        return LmonpMessage.decode(msg.encode())
+
+    out = benchmark(roundtrip)
+    assert out == msg
+
+
+@pytest.mark.benchmark(group="micro-lmonp")
+def bench_lmonp_frame_reassembly(benchmark):
+    msgs = [LmonpMessage(MsgClass.FE_BE, FeToBe.USRDATA,
+                         usr_payload=bytes([i % 256]) * (i * 7 % 300))
+            for i in range(64)]
+    stream = b"".join(m.encode() for m in msgs)
+
+    def reassemble():
+        dec = FrameDecoder()
+        out = []
+        for i in range(0, len(stream), 97):
+            out.extend(dec.feed(stream[i:i + 97]))
+        return out
+
+    out = benchmark(reassemble)
+    assert len(out) == 64
+
+
+@pytest.mark.benchmark(group="micro-rpdtab")
+@pytest.mark.parametrize("n_tasks", [1024, 8192])
+def bench_rpdtab_codec(benchmark, n_tasks):
+    tab = RPDTAB(ProcDesc(rank=r, host_name=f"atlas{r // 8:04d}",
+                          executable_name="app", pid=1000 + r % 8)
+                 for r in range(n_tasks))
+
+    def roundtrip():
+        return RPDTAB.from_bytes(tab.to_bytes())
+
+    out = benchmark(roundtrip)
+    assert len(out) == n_tasks
+
+
+@pytest.mark.benchmark(group="micro-prefix-tree")
+@pytest.mark.parametrize("n_trees", [16, 128])
+def bench_prefix_tree_merge(benchmark, n_trees):
+    stacks = [
+        ("_start", "main", "do_work", "MPI_Barrier"),
+        ("_start", "main", "do_work", "compute", "inner"),
+        ("_start", "main", "io", "write_block"),
+    ]
+    trees = []
+    for i in range(n_trees):
+        t = PrefixTree()
+        for r in range(8):
+            t.insert(stacks[(i + r) % 3], i * 8 + r)
+        trees.append(t)
+
+    merged = benchmark(lambda: merge_trees(trees))
+    assert len(merged.all_ranks) == 8 * n_trees
+
+
+@pytest.mark.benchmark(group="micro-iccl")
+@pytest.mark.parametrize("kind", ["flat", "binomial", "kary"])
+def bench_topology_construction(benchmark, kind):
+    topo = benchmark(lambda: TreeTopology.make(1024, kind))
+    assert topo.size == 1024
+
+
+@pytest.mark.benchmark(group="micro-des")
+def bench_des_event_throughput(benchmark):
+    """Events/second of the simulation kernel (ping-pong chains)."""
+
+    def run():
+        sim = Simulator()
+
+        def chain(sim, hops):
+            for _ in range(hops):
+                yield sim.timeout(0.001)
+
+        for _ in range(50):
+            sim.process(chain(sim, 100))
+        sim.run()
+        return sim.now
+
+    now = benchmark(run)
+    assert now == pytest.approx(0.1)

@@ -1,0 +1,40 @@
+"""Table 1 bench: O|SS APAI access times, DPCL vs LaunchMON.
+
+Checks the paper's table: DPCL ~34 s and LaunchMON ~0.6 s, both nearly
+flat from 2 to 32 nodes.
+"""
+
+import pytest
+
+from repro.experiments import run_table1
+from repro.experiments.table1 import measure_apai_access
+
+
+@pytest.mark.benchmark(group="table1")
+def bench_table1_full_sweep(benchmark, paper_series):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    benchmark.extra_info.update(paper_series(
+        result.rows, "nodes", ["DPCL", "LaunchMON"]))
+
+    dpcl = result.column("DPCL")
+    lmon = result.column("LaunchMON")
+    # paper row: 33.77..34.66 s
+    assert all(d == pytest.approx(34.0, rel=0.08) for d in dpcl)
+    # paper row: 0.604..0.627 s
+    assert all(l == pytest.approx(0.61, rel=0.25) for l in lmon)
+    # both nearly flat: < 5% spread across the node range
+    assert (max(dpcl) - min(dpcl)) / max(dpcl) < 0.05
+    assert (max(lmon) - min(lmon)) / max(lmon) < 0.05
+    # constant-factor improvement, roughly the paper's ~55x
+    assert all(r["improvement"] > 30 for r in result.rows)
+
+
+@pytest.mark.benchmark(group="table1")
+@pytest.mark.parametrize("n_nodes", [2, 32])
+def bench_table1_single_point(benchmark, n_nodes):
+    box = benchmark.pedantic(
+        measure_apai_access, args=(n_nodes,), rounds=1, iterations=1)
+    benchmark.extra_info["virtual_dpcl_s"] = round(box["dpcl"].t_access, 3)
+    benchmark.extra_info["virtual_launchmon_s"] = round(
+        box["launchmon"].t_access, 3)
+    assert box["dpcl"].proctable == box["launchmon"].proctable

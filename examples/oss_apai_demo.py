@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Open|SpeedShop demo: APAI acquisition with and without LaunchMON.
+
+Reproduces one Table 1 scenario end to end: the original DPCL-based O|SS
+Instrumentor (persistent root daemons + a full parse of the srun binary)
+versus the LaunchMON-based replacement (debugger-style attach, read exactly
+the RPDTAB). Same proctable, ~55x less time, no root daemons.
+
+Run:  python examples/oss_apai_demo.py
+"""
+
+from repro import drive, make_env
+from repro.apps import make_compute_app
+from repro.tools.oss import (
+    DpclInfrastructure,
+    DpclInstrumentor,
+    LaunchmonInstrumentor,
+)
+
+
+def main():
+    n_nodes = 16
+    env = make_env(n_compute=n_nodes)
+    app = make_compute_app(n_tasks=8 * n_nodes, tasks_per_node=8)
+
+    box = {}
+
+    def scenario(env):
+        # an administrator must have preinstalled DPCL's root daemons --
+        # precisely the deployment burden Section 5.3 calls out
+        dpcl = DpclInfrastructure(env.cluster)
+        yield from dpcl.preinstall()
+
+        job = yield from env.rm.launch_job(app, env.rm.allocate(n_nodes))
+
+        old = DpclInstrumentor(env.cluster, dpcl)
+        box["dpcl"] = yield from old.acquire_apai(job)
+
+        new = LaunchmonInstrumentor(env.cluster, env.rm)
+        box["lmon"] = yield from new.acquire_apai(job)
+
+    drive(env, scenario(env))
+    d, l = box["dpcl"], box["lmon"]
+
+    print("=== O|SS: time to acquire APAI information "
+          f"({n_nodes} nodes, {d.n_tasks} tasks) ===\n")
+    print(f"  DPCL Instrumentor:      {d.t_access:7.3f} s   "
+          f"(root daemons: {d.used_root_daemons})")
+    print(f"  LaunchMON Instrumentor: {l.t_access:7.3f} s   "
+          f"(root daemons: {l.used_root_daemons})")
+    print(f"\n  improvement: {d.t_access / l.t_access:.0f}x   "
+          f"identical proctables: {d.proctable == l.proctable}")
+    print("\nTable 1 (paper): DPCL 34.32 s vs LaunchMON 0.617 s at 16 nodes")
+    print("The DPCL constant is the full parse of the RM binary -- pure "
+          "overhead when all the tool needs is the proctable.")
+
+
+if __name__ == "__main__":
+    main()

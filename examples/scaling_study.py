@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Scaling study: launch mechanisms and the analytic model, side by side.
+
+Sweeps daemon counts and compares: sequential rsh, tree-based rsh, and the
+RM-native path LaunchMON drives -- then overlays the Section 4 model's
+prediction for the full launchAndSpawn. This generalizes Figure 6 beyond
+STAT and shows where each mechanism's scaling breaks.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro import drive, make_env
+from repro.adhoc import sequential_rsh_launch, tree_rsh_launch
+from repro.experiments.fig3 import DAEMON_IMAGE_MB, measure_launch_and_spawn
+from repro.perfmodel import LaunchModel, ModelInputs
+
+
+def time_adhoc(launcher, n):
+    env = make_env(n_compute=n)
+    box = {}
+
+    def scenario(env):
+        r = yield from launcher(env.cluster, env.cluster.compute,
+                                image_mb=1.0)
+        box["r"] = r
+
+    drive(env, scenario(env))
+    r = box["r"]
+    return None if r.failed else r.elapsed, r
+
+
+def main():
+    print("=== daemon launching at scale: mechanism comparison ===\n")
+    print(f"{'daemons':>8} {'rsh-seq':>10} {'rsh-tree':>10} "
+          f"{'launchmon':>10} {'model':>10}")
+    model = LaunchModel()
+    for n in (8, 32, 128, 512):
+        t_seq, seq_res = time_adhoc(sequential_rsh_launch, n)
+        t_tree, _ = time_adhoc(tree_rsh_launch, n)
+        measured, _, _ = measure_launch_and_spawn(n)
+        predicted = model.predict(
+            ModelInputs(n, daemon_image_mb=DAEMON_IMAGE_MB))
+        seq_cell = f"{t_seq:10.2f}" if t_seq is not None else \
+            f"FAIL@{seq_res.n_spawned:4d}"
+        print(f"{n:8d} {seq_cell:>10} {t_tree:10.2f} "
+              f"{measured.total:10.2f} {predicted.total:10.2f}")
+
+    print("\nnotes:")
+    print(" * rsh-seq: one held rsh client per daemon; linear at ~0.24 "
+          "s/daemon, dies when the front-end process table fills")
+    print(" * rsh-tree: parallelizes the rsh cost but still needs rshd on "
+          "compute nodes (impossible on BG/L or Cray XT)")
+    print(" * launchmon column is the FULL launchAndSpawn (job launch + "
+          "daemon launch + handshake); the others launch daemons only")
+    print(" * model: the Section 4 closed-form prediction for launchAndSpawn")
+
+    print("\n=== portability: the same tool on an MPP (no compute rshd) ===")
+    from repro.cluster import ClusterSpec
+    env = make_env(n_compute=8, spec=ClusterSpec(n_compute=8,
+                                                 compute_rshd=False))
+    box = {}
+
+    def scenario(env):
+        r = yield from sequential_rsh_launch(env.cluster,
+                                             env.cluster.compute)
+        box["r"] = r
+
+    drive(env, scenario(env))
+    print(f"  ad-hoc rsh:  FAILED ({box['r'].failure.split(':')[-1].strip()})")
+    m, _, _ = measure_launch_and_spawn(8)
+    print(f"  launchmon:   works unchanged ({m.total:.2f} s) -- the RM's "
+          f"native launcher needs no node-local remote access")
+
+
+if __name__ == "__main__":
+    main()

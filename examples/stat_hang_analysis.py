@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""STAT demo: find why a parallel job hangs, at scale.
+
+A 256-task application is stuck: most ranks wait in MPI_Barrier, two ranks
+spin in a compute kernel, and rank 0 blocks in MPI_Recv. STAT launches
+stack-sampling daemons through LaunchMON, merges every task's stack into a
+call-graph prefix tree over the TBON, and reduces one million potential
+debugging targets to three process equivalence classes (Section 5.2).
+
+The demo also runs the ad-hoc MRNet-native startup on the same job to show
+the launch-time gap Figure 6 quantifies.
+
+Run:  python examples/stat_hang_analysis.py
+"""
+
+from repro import drive, make_env
+from repro.apps import make_hang_app
+from repro.tools.stat_tool import run_stat_launchmon, run_stat_mrnet_native
+
+
+def main():
+    n_nodes = 32
+    env = make_env(n_compute=n_nodes)
+    app = make_hang_app(n_tasks=8 * n_nodes, tasks_per_node=8,
+                        stuck_ranks=(37, 141), deadlocked_pair=True)
+
+    box = {}
+
+    def scenario(env):
+        job = yield from env.rm.launch_job(app, env.rm.allocate(n_nodes))
+        box["lmon"] = yield from run_stat_launchmon(env.cluster, env.rm, job)
+
+    drive(env, scenario(env))
+    res = box["lmon"]
+
+    print("=== STAT: stack trace analysis of a hung 256-task job ===\n")
+    print(f"merged call-graph prefix tree: {res.tree.node_count()} nodes "
+          f"covering {len(res.tree.all_ranks)} ranks\n")
+    print("process equivalence classes (largest first):")
+    for path, ranks in res.classes:
+        head = sorted(ranks)[:6]
+        suffix = "..." if len(ranks) > 6 else ""
+        print(f"  {len(ranks):4d} ranks  {' > '.join(path)}")
+        print(f"             e.g. ranks {head}{suffix}")
+    print("\n-> attach a full debugger to ONE representative per class "
+          "(3 processes instead of 256)")
+
+    print(f"\nstartup via LaunchMON: {res.startup.total:.2f} s "
+          f"({res.startup.n_daemons} daemons)")
+
+    # same analysis with the ad-hoc MRNet-native startup, for contrast
+    env2 = make_env(n_compute=n_nodes)
+    box2 = {}
+
+    def scenario2(env):
+        job = yield from env.rm.launch_job(app, env.rm.allocate(n_nodes))
+        box2["native"] = yield from run_stat_mrnet_native(env.cluster,
+                                                          env.rm, job)
+
+    drive(env2, scenario2(env2))
+    native = box2["native"]
+    print(f"startup via ad-hoc rsh:  {native.startup.total:.2f} s "
+          f"(same tree: {native.tree == res.tree})")
+    print(f"LaunchMON speedup: {native.startup.total / res.startup.total:.1f}x"
+          f"  (Figure 6: >10x at 256 daemons; ad-hoc fails outright at 512)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro: a reproduction of LaunchMON -- scalable tool daemon launching.
+
+This library reimplements the system from *"Overcoming Scalability
+Challenges for Tool Daemon Launching"* (Ahn, Arnold, de Supinski, Lee,
+Miller, Schulz -- ICPP 2008): the LaunchMON infrastructure (engine,
+front-end/back-end/middleware APIs, the LMONP protocol, ICCL collectives),
+the substrates it runs on (a deterministic discrete-event cluster, SLURM /
+BG-L / rsh-only resource managers with an MPIR/APAI debug interface, a
+tree-based overlay network), the three case-study tools (Jobsnap, STAT,
+Open|SpeedShop), the ad-hoc launching baselines, and the Section 4
+performance model -- plus experiment runners regenerating Figure 3,
+Figure 5, Figure 6 and Table 1.
+
+Quick start::
+
+    from repro import make_env, drive, ToolFrontEnd
+    from repro.apps import make_compute_app
+
+    env = make_env(n_compute=16)
+    ...  # see examples/quickstart.py
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.runner import SimEnv, drive, make_env
+from repro.fe import LMONSession, SessionState, ToolFrontEnd
+from repro.be import BackEnd, BEContext
+from repro.mw import Middleware, MWContext
+from repro.rm import (
+    BglMpirunRM,
+    DaemonSpec,
+    ResourceManager,
+    RshRM,
+    SlurmConfig,
+    SlurmRM,
+)
+from repro.cluster import Cluster, ClusterSpec, CostModel
+from repro.apps import AppSpec, make_compute_app, make_hang_app, make_io_heavy_app
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppSpec",
+    "BEContext",
+    "BackEnd",
+    "BglMpirunRM",
+    "Cluster",
+    "ClusterSpec",
+    "CostModel",
+    "DaemonSpec",
+    "LMONSession",
+    "MWContext",
+    "Middleware",
+    "ResourceManager",
+    "RshRM",
+    "SessionState",
+    "SimEnv",
+    "SlurmConfig",
+    "SlurmRM",
+    "ToolFrontEnd",
+    "drive",
+    "make_env",
+    "make_compute_app",
+    "make_hang_app",
+    "make_io_heavy_app",
+    "__version__",
+]

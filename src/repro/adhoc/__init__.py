@@ -1,0 +1,17 @@
+"""repro.adhoc -- ad-hoc tool daemon launching baselines (Section 2).
+
+The practices LaunchMON replaces: remote-access commands (rsh/ssh) driven
+either sequentially from the tool front end or through a tree-based
+protocol where launched daemons spawn further daemons. Both are RM-agnostic
+and therefore portable *in theory*; in practice they are linear-or-worse in
+cost, fail when front-end process tables fill, and cannot run at all on MPP
+systems whose compute nodes refuse remote access.
+"""
+
+from repro.adhoc.launchers import (
+    AdHocResult,
+    sequential_rsh_launch,
+    tree_rsh_launch,
+)
+
+__all__ = ["AdHocResult", "sequential_rsh_launch", "tree_rsh_launch"]

@@ -1,0 +1,97 @@
+"""Canonical application scenarios used by examples, tests and benchmarks.
+
+These are the workloads the paper's introduction motivates: a large MPI job
+a debugger must examine (``make_hang_app`` is the classic STAT scenario --
+most ranks blocked at a barrier, a few stuck elsewhere), plus uniform
+compute/IO profiles for Jobsnap and O|SS runs.
+"""
+
+from __future__ import annotations
+
+from repro.apps.spec import AppSpec, RankBehavior
+from repro.cluster.process import ProcState
+
+__all__ = ["make_compute_app", "make_hang_app", "make_io_heavy_app"]
+
+
+def make_compute_app(n_tasks: int, tasks_per_node: int = 8,
+                     executable: str = "physics_sim") -> AppSpec:
+    """A healthy bulk-synchronous compute application."""
+
+    def behavior(rank: int) -> RankBehavior:
+        return RankBehavior(
+            call_stack=("_start", "main", "timestep", "exchange_halo",
+                        "MPI_Waitall"),
+            state=ProcState.RUNNING,
+            utime=120.0 + (rank % 7) * 0.8,
+            stime=2.0,
+            vm_hwm_kb=480_000 + (rank % 16) * 1024,
+            vm_rss_kb=440_000,
+            maj_flt=40 + rank % 5,
+            program_counter=0x401200 + (rank % 4) * 16,
+        )
+
+    return AppSpec(executable=executable, n_tasks=n_tasks,
+                   tasks_per_node=tasks_per_node, behavior=behavior,
+                   image_mb=4.0, name="compute")
+
+
+def make_hang_app(n_tasks: int, tasks_per_node: int = 8,
+                  stuck_ranks: tuple[int, ...] = (1,),
+                  deadlocked_pair: bool = False,
+                  executable: str = "hanging_app") -> AppSpec:
+    """An application hung at a barrier with a few outlier ranks.
+
+    ``stuck_ranks`` spin in a compute loop and never reach the barrier;
+    with ``deadlocked_pair`` rank 0 additionally waits in a point-to-point
+    receive, giving STAT three equivalence classes to find.
+    """
+    stuck = frozenset(stuck_ranks)
+
+    def behavior(rank: int) -> RankBehavior:
+        if rank in stuck:
+            return RankBehavior(
+                call_stack=("_start", "main", "do_work", "compute_kernel",
+                            "inner_loop"),
+                state=ProcState.RUNNING,
+                utime=900.0, stime=0.2, program_counter=0x402a40,
+            )
+        if deadlocked_pair and rank == 0:
+            return RankBehavior(
+                call_stack=("_start", "main", "do_work", "exchange",
+                            "MPI_Recv"),
+                state=ProcState.SLEEPING,
+                utime=420.0, stime=1.1, program_counter=0x403000,
+            )
+        return RankBehavior(
+            call_stack=("_start", "main", "do_work", "MPI_Barrier"),
+            state=ProcState.SLEEPING,
+            utime=430.0, stime=1.0, program_counter=0x4028f0,
+        )
+
+    return AppSpec(executable=executable, n_tasks=n_tasks,
+                   tasks_per_node=tasks_per_node, behavior=behavior,
+                   image_mb=10.0, name="hang")
+
+
+def make_io_heavy_app(n_tasks: int, tasks_per_node: int = 8,
+                      executable: str = "checkpoint_app") -> AppSpec:
+    """An I/O-bound application (high system time, many major faults)."""
+
+    def behavior(rank: int) -> RankBehavior:
+        writer = rank % tasks_per_node == 0
+        return RankBehavior(
+            call_stack=("_start", "main", "checkpoint", "write_block",
+                        "__write") if writer else
+            ("_start", "main", "checkpoint", "MPI_File_write_all"),
+            state=ProcState.DISK_WAIT if writer else ProcState.SLEEPING,
+            utime=30.0, stime=55.0 if writer else 8.0,
+            vm_hwm_kb=260_000, vm_rss_kb=250_000,
+            vm_lck_kb=4096 if writer else 0,
+            maj_flt=900 if writer else 80,
+            program_counter=0x404440,
+        )
+
+    return AppSpec(executable=executable, n_tasks=n_tasks,
+                   tasks_per_node=tasks_per_node, behavior=behavior,
+                   image_mb=14.0, name="io-heavy")

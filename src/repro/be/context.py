@@ -1,0 +1,50 @@
+"""The execution context a launched back-end daemon receives.
+
+The RM's daemon-launch service constructs one :class:`BEContext` per daemon
+and hands it to the tool's daemon body (``DaemonSpec.main``). It carries
+the daemon's identity (rank within the daemon set, node, process), the
+RM-provided fabric endpoint, and the rendezvous coordinates of the tool
+front end -- everything ``LMON_be_init`` needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.simx import Simulator, Store
+from repro.be.iccl import ICCLFabric
+from repro.cluster import Node, SimProcess
+from repro.mpir import ProcDesc
+
+__all__ = ["BEContext"]
+
+
+@dataclass
+class BEContext:
+    """Per-daemon launch context (the daemon's environment + RM plumbing)."""
+
+    sim: Simulator
+    node: Node
+    proc: SimProcess
+    rank: int
+    size: int
+    fabric: ICCLFabric
+    session_key: str
+    #: front-end node (for the master's LMONP connection)
+    fe_node: Node
+    #: rendezvous store the master pushes its connection into
+    fe_rendezvous: Store
+    #: filled by the handshake: this daemon's local task descriptors
+    local_entries: list[ProcDesc] = field(default_factory=list)
+    #: filled by the handshake: (hostname, pid) for every daemon, rank order
+    daemon_table: list[tuple[str, int]] = field(default_factory=list)
+    #: tool data the front end piggybacked on the handshake (decoded)
+    usr_data_init: Any = None
+    #: scratch area for tool state
+    tool_state: dict = field(default_factory=dict)
+
+    @property
+    def is_master(self) -> bool:
+        """Rank 0 is LaunchMON's master back-end daemon."""
+        return self.rank == 0

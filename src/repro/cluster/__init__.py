@@ -1,0 +1,48 @@
+"""repro.cluster -- simulated HPC cluster substrate.
+
+The paper's experiments ran on Atlas, an 1152-node SLURM Linux cluster. We
+reproduce the substrate as a deterministic discrete-event model:
+
+* :class:`Node` -- a host with a bounded process table, fork/exec costs, and
+  optional remote-access service (rshd); fork failure beyond the table bound
+  reproduces the ad-hoc launcher failure mode at scale (paper Section 5.2).
+* :class:`SimProcess` + :mod:`repro.cluster.procfs` -- simulated processes
+  with the /proc-style statistics Jobsnap collects (state, PC, threads,
+  VmHWM, VmLck, utime/stime, major faults).
+* :class:`Network` -- latency + bandwidth message timing, TCP connect costs,
+  duplex :class:`Pipe` construction between nodes.
+* :class:`SharedFilesystem` -- a contended parallel-FS model: loading a
+  daemon's executable image serializes on FS bandwidth, reproducing the
+  binary-loading storms that dominate heavyweight tool daemon startup.
+* :class:`Cluster` -- front-end node + compute nodes + network, built from a
+  :class:`ClusterSpec`.
+
+All timing constants live in :class:`CostModel` (see ``costs.py``) and are
+calibrated against the paper's measured curves; DESIGN.md Section 2 records
+each substitution.
+"""
+
+from repro.cluster.costs import CostModel
+from repro.cluster.process import ProcState, ProcStats, SimProcess, DebugEvent, DebugEventType
+from repro.cluster.node import ForkError, Node, RemoteExecError
+from repro.cluster.network import Network, Pipe
+from repro.cluster.cluster import Cluster, ClusterSpec, SharedFilesystem
+from repro.cluster import procfs
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "CostModel",
+    "DebugEvent",
+    "DebugEventType",
+    "ForkError",
+    "Network",
+    "Node",
+    "Pipe",
+    "ProcState",
+    "ProcStats",
+    "RemoteExecError",
+    "SharedFilesystem",
+    "SimProcess",
+    "procfs",
+]

@@ -1,0 +1,102 @@
+"""Calibrated cost constants for the simulated cluster.
+
+Every constant is in seconds (or bytes/second for bandwidths). Values are
+calibrated so that the *mechanistic* protocols built on top of them reproduce
+the paper's measured curves:
+
+* ``rsh_connect`` + ``rsh_fork_overhead``: the sequential ad-hoc launcher's
+  per-daemon cost. Figure 6 gives MRNet-rsh 0.77 s at 4 nodes and 60.8 s at
+  256 nodes => slope ~= 0.236 s/daemon.
+* ``ptrace_*``: the engine's tracing costs. The paper reports an 18 ms
+  scale-independent tracing cost (~a dozen RM debug events handled by the
+  engine) and 12 ms of other scale-independent LaunchMON costs.
+* ``ptrace_word_read``: RPDTAB fetching is linear in task count (Region B);
+  three symbol reads per task at ~12 us/word gives ~0.3 s at 8192 tasks,
+  consistent with Figure 5's LaunchMON share at 8192 tasks.
+* ``fs_bandwidth``: shared-filesystem image loading serializes daemon binary
+  reads; a 25 MB tool package at 2.5 GB/s yields the ~0.01 s/node linear
+  component seen in STAT's LaunchMON curve (Figure 6: 3.57 s at 256 nodes,
+  5.6 s at 512).
+
+The defaults model Atlas (4-way dual-core Opteron nodes, 4x DDR InfiniBand,
+CHAOS Linux, SLURM); :meth:`CostModel.scaled` derives variants (e.g. the
+BlueGene/L port with its significantly costlier mpirun spawning).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Primitive operation costs for nodes, network and filesystem."""
+
+    # -- local OS operations ------------------------------------------------
+    #: fork+exec of one ordinary process (no image-load component)
+    fork_exec: float = 0.0025
+    #: relative jitter applied to fork/exec samples
+    fork_jitter: float = 0.08
+    #: cost of one /proc file read (one stat record field group)
+    proc_read: float = 0.00004
+    #: process context switch / scheduling grain
+    sched_grain: float = 0.0001
+
+    # -- debugger (ptrace-style) operations ----------------------------------
+    #: attach to a live process
+    ptrace_attach: float = 0.004
+    #: read one word/small field from traced process memory
+    ptrace_word_read: float = 0.000012
+    #: resume a stopped tracee
+    ptrace_continue: float = 0.0002
+    #: trap + stop delivery for a breakpoint or debug event
+    ptrace_trap: float = 0.0005
+    #: engine-side handling cost of one decoded debug event
+    event_handle: float = 0.0015
+
+    # -- remote access (rsh/ssh-style) ---------------------------------------
+    #: connection + authentication for one rsh/ssh session
+    rsh_connect: float = 0.225
+    #: local overhead of forking the rsh client itself
+    rsh_fork_overhead: float = 0.006
+
+    # -- network --------------------------------------------------------------
+    #: one-way small-message latency between any two nodes
+    net_latency: float = 0.00003
+    #: effective point-to-point bandwidth (bytes/second)
+    net_bandwidth: float = 1.0e9
+    #: TCP connection establishment (3-way handshake + socket setup)
+    tcp_connect: float = 0.0006
+    #: per-message software overhead (marshalling, syscalls)
+    msg_overhead: float = 0.00002
+    #: FE-side per-daemon processing of handshake tables (Region C slope)
+    fe_handshake_per_daemon: float = 0.00006
+
+    # -- shared parallel filesystem -------------------------------------------
+    #: aggregate filesystem bandwidth for image loads (bytes/second)
+    fs_bandwidth: float = 2.5e9
+    #: open/metadata cost per image load
+    fs_open: float = 0.0003
+
+    def scaled(self, **factors: float) -> "CostModel":
+        """Return a copy with named fields multiplied by the given factors.
+
+        Example: ``costs.scaled(fork_exec=4.0)`` models a platform whose
+        process spawning is 4x slower (the BG/L observation in Section 4).
+        """
+        updates = {}
+        for field_name, factor in factors.items():
+            current = getattr(self, field_name)
+            updates[field_name] = current * factor
+        return dataclasses.replace(self, **updates)
+
+    def replaced(self, **values: float) -> "CostModel":
+        """Return a copy with named fields replaced outright."""
+        return dataclasses.replace(self, **values)
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Latency + serialization time for a message of ``nbytes``."""
+        return self.net_latency + self.msg_overhead + nbytes / self.net_bandwidth

@@ -1,0 +1,146 @@
+"""Simulated cluster nodes: process tables, fork/exec, and rshd service.
+
+Two behaviours here carry the paper's arguments:
+
+* **Bounded process tables.** ``Node.fork_exec`` fails with
+  :class:`ForkError` once ``max_user_procs`` concurrent processes exist for a
+  user. The ad-hoc MRNet launcher keeps one rsh client per daemon alive on
+  the front end, so at 512 daemons the fork fails -- exactly the failure the
+  paper observed (Section 5.2).
+* **Restricted node-local services.** MPP-style systems (BG/L, Cray XT)
+  don't run rshd on compute nodes; ``Node.rshd_enabled = False`` makes any
+  rsh-based launcher fail with :class:`RemoteExecError`, which is the
+  portability argument for RM-based launching (Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from repro.simx import SeededRNG, Simulator
+from repro.cluster.costs import CostModel
+from repro.cluster.process import SimProcess
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+
+__all__ = ["ForkError", "Node", "RemoteExecError"]
+
+
+class ForkError(OSError):
+    """fork() failed (process table exhausted) -- models EAGAIN."""
+
+
+class RemoteExecError(OSError):
+    """Remote execution service unavailable or connection refused."""
+
+
+class Node:
+    """One host: name, cores, a bounded process table, optional rshd."""
+
+    def __init__(self, sim: Simulator, name: str, cores: int = 8,
+                 costs: Optional[CostModel] = None,
+                 rng: Optional[SeededRNG] = None,
+                 max_user_procs: int = 400,
+                 rshd_enabled: bool = True,
+                 cluster: Optional["Cluster"] = None):
+        self.sim = sim
+        self.name = name
+        self.cores = cores
+        self.costs = costs or CostModel()
+        self.rng = (rng or SeededRNG(0)).child(f"node:{name}")
+        self.max_user_procs = max_user_procs
+        self.rshd_enabled = rshd_enabled
+        self.cluster = cluster
+        self._next_pid = 1000
+        self.procs: dict[int, SimProcess] = {}
+        #: per-uid live process counts (for the user process-table bound)
+        self._uid_counts: dict[str, int] = {}
+        #: diagnostics: high-water mark of any single user's processes
+        self.max_uid_procs_seen = 0
+
+    # -- inspection -----------------------------------------------------------
+    def user_proc_count(self, uid: str = "user") -> int:
+        return self._uid_counts.get(uid, 0)
+
+    def processes_of(self, executable_prefix: str = "") -> list[SimProcess]:
+        """Live processes whose executable starts with the given prefix."""
+        return [p for p in self.procs.values()
+                if p.alive and p.executable.startswith(executable_prefix)]
+
+    # -- fork/exec ---------------------------------------------------------------
+    def fork_exec(self, executable: str, args: tuple = (),
+                  uid: str = "user", parent: Optional[SimProcess] = None,
+                  image_mb: float = 2.0,
+                  ) -> Generator[Any, Any, SimProcess]:
+        """fork+exec a new process; a generator costing virtual time.
+
+        Raises :class:`ForkError` immediately (before any time passes) if the
+        user's process-table quota is exhausted -- fork returns EAGAIN without
+        blocking on real systems.
+        """
+        count = self._uid_counts.get(uid, 0)
+        if count >= self.max_user_procs:
+            raise ForkError(
+                f"fork on {self.name}: user {uid!r} at process limit "
+                f"({count}/{self.max_user_procs})")
+        self._uid_counts[uid] = count + 1
+        self.max_uid_procs_seen = max(self.max_uid_procs_seen, count + 1)
+
+        yield self.sim.timeout(
+            self.rng.jitter(self.costs.fork_exec, self.costs.fork_jitter))
+
+        pid = self._next_pid
+        self._next_pid += 1
+        proc = SimProcess(self.sim, self, pid, executable, args,
+                          uid=uid, image_mb=image_mb)
+        if parent is not None:
+            proc.parent = parent
+            parent.children.append(proc)
+        self.procs[pid] = proc
+        return proc
+
+    def _reap(self, proc: SimProcess) -> None:
+        """Internal: account a process exit against the user's quota."""
+        if proc.pid in self.procs:
+            del self.procs[proc.pid]
+            remaining = self._uid_counts.get(proc.uid, 0) - 1
+            if remaining > 0:
+                self._uid_counts[proc.uid] = remaining
+            else:
+                self._uid_counts.pop(proc.uid, None)
+
+    # -- remote execution (rshd) ---------------------------------------------------
+    def rsh_spawn(self, target: "Node", executable: str, args: tuple = (),
+                  uid: str = "user", image_mb: float = 2.0,
+                  hold_client: bool = True,
+                  ) -> Generator[Any, Any, tuple[Optional[SimProcess], SimProcess]]:
+        """Launch ``executable`` on ``target`` through an rsh-like service.
+
+        Models the full ad-hoc path: fork a local rsh client, connect and
+        authenticate to the remote rshd, remote fork+exec. Returns
+        ``(client_process, remote_process)``. With ``hold_client=True`` (the
+        MRNet behaviour) the client stays alive to carry the remote stdio,
+        pinning a process-table slot on this node for the daemon's lifetime.
+
+        Raises :class:`RemoteExecError` if the target runs no rshd, and
+        propagates :class:`ForkError` from the local fork.
+        """
+        if not target.rshd_enabled:
+            raise RemoteExecError(
+                f"{target.name}: connection refused (no remote access "
+                f"service on this platform)")
+        client = yield from self.fork_exec(
+            "rsh", args=(target.name, executable), uid=uid, image_mb=0.5)
+        yield self.sim.timeout(self.rng.jitter(self.costs.rsh_fork_overhead))
+        # connection + authentication round trips
+        yield self.sim.timeout(self.rng.jitter(self.costs.rsh_connect))
+        remote = yield from target.fork_exec(
+            executable, args=args, uid=uid, image_mb=image_mb)
+        if not hold_client:
+            client.exit(0)
+            client = None
+        return client, remote
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Node {self.name} procs={len(self.procs)}>"

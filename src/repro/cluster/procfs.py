@@ -1,0 +1,86 @@
+"""Simulated /proc access.
+
+Jobsnap's back ends read each local task's /proc entries; this module
+provides that read path with realistic per-read costs and a structured
+record type (:class:`ProcSnapshot`) matching the fields Section 5.1 lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.cluster.process import ProcState, SimProcess
+
+__all__ = ["ProcSnapshot", "read_snapshot", "format_snapshot_line",
+           "SNAPSHOT_HEADER"]
+
+
+@dataclass(frozen=True)
+class ProcSnapshot:
+    """One task's /proc-derived state (one Jobsnap output line)."""
+
+    rank: int
+    hostname: str
+    pid: int
+    executable: str
+    state: str
+    program_counter: int
+    num_threads: int
+    vm_hwm_kb: int
+    vm_rss_kb: int
+    vm_lck_kb: int
+    utime: float
+    stime: float
+    maj_flt: int
+
+    def to_tuple(self) -> tuple:
+        return (self.rank, self.hostname, self.pid, self.executable,
+                self.state, self.program_counter, self.num_threads,
+                self.vm_hwm_kb, self.vm_rss_kb, self.vm_lck_kb,
+                self.utime, self.stime, self.maj_flt)
+
+
+SNAPSHOT_HEADER = (
+    "RANK HOST PID EXE STATE PC NTHR VMHWM(KB) VMRSS(KB) VMLCK(KB) "
+    "UTIME STIME MAJFLT")
+
+
+def read_snapshot(proc: SimProcess, rank: int,
+                  ) -> Generator[Any, Any, ProcSnapshot]:
+    """Read one task's /proc files; costs several proc_read units.
+
+    Reads /proc/<pid>/stat, /proc/<pid>/status and /proc/<pid>/maps-level
+    summaries (three file opens + parses), mirroring what a real jobsnap
+    daemon does per task.
+    """
+    costs = proc.node.costs
+    rng = proc.node.rng
+    # stat, status, and memory summaries: three reads
+    for _ in range(3):
+        yield proc.sim.timeout(rng.jitter(costs.proc_read))
+    s = proc.stats
+    return ProcSnapshot(
+        rank=rank,
+        hostname=proc.host,
+        pid=proc.pid,
+        executable=proc.executable,
+        state=proc.state.value,
+        program_counter=s.program_counter,
+        num_threads=s.num_threads,
+        vm_hwm_kb=s.vm_hwm_kb,
+        vm_rss_kb=s.vm_rss_kb,
+        vm_lck_kb=s.vm_lck_kb,
+        utime=round(s.utime, 6),
+        stime=round(s.stime, 6),
+        maj_flt=s.maj_flt,
+    )
+
+
+def format_snapshot_line(snap: ProcSnapshot) -> str:
+    """Render one snapshot as Jobsnap's one-line-per-task text format."""
+    return (f"{snap.rank:6d} {snap.hostname:>12s} {snap.pid:7d} "
+            f"{snap.executable:>16s} {snap.state} {snap.program_counter:#012x} "
+            f"{snap.num_threads:4d} {snap.vm_hwm_kb:9d} {snap.vm_rss_kb:9d} "
+            f"{snap.vm_lck_kb:9d} {snap.utime:8.3f} {snap.stime:8.3f} "
+            f"{snap.maj_flt:7d}")

@@ -1,0 +1,35 @@
+"""The Event Decoder: native debug events -> LaunchMON events."""
+
+from __future__ import annotations
+
+from repro.cluster.process import DebugEvent, DebugEventType
+from repro.engine.events import LMONEvent, LMONEventType
+
+__all__ = ["EventDecoder"]
+
+
+class EventDecoder:
+    """Stateless translation from the platform's native event vocabulary.
+
+    Porting LaunchMON to a new OS/RM means reparameterizing this mapping
+    (plus the cost constants) -- the Driver and handlers stay untouched,
+    which is the modularity claim of Section 3.1.
+    """
+
+    _MAP = {
+        DebugEventType.EXEC: LMONEventType.RM_EXEC,
+        DebugEventType.FORK: LMONEventType.RM_HELPER_FORKED,
+        DebugEventType.STOPPED_AT_ENTRY: LMONEventType.RM_EXEC,
+        DebugEventType.EXITED: LMONEventType.RM_EXITED,
+    }
+
+    def decode(self, native: DebugEvent) -> LMONEvent:
+        if native.etype is DebugEventType.BREAKPOINT:
+            # MPIR_Breakpoint: the launcher reports a job state change
+            if native.detail == "MPIR_Breakpoint":
+                return LMONEvent(LMONEventType.TASKS_SPAWNED, native)
+            return LMONEvent(LMONEventType.UNKNOWN, native)
+        if native.etype is DebugEventType.SIGNAL:
+            return LMONEvent(LMONEventType.JOB_ABORTED, native, native.detail)
+        mapped = self._MAP.get(native.etype, LMONEventType.UNKNOWN)
+        return LMONEvent(mapped, native)

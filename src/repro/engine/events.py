@@ -1,0 +1,31 @@
+"""LaunchMON-level events (the Event Decoder's output vocabulary)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.cluster.process import DebugEvent
+
+__all__ = ["LMONEvent", "LMONEventType"]
+
+
+class LMONEventType(enum.Enum):
+    """Higher-level launch/job state changes the Driver dispatches on."""
+
+    RM_EXEC = "rm-exec"
+    RM_HELPER_FORKED = "rm-helper-forked"
+    TASKS_SPAWNED = "tasks-spawned"          # MPIR_Breakpoint, state SPAWNED
+    JOB_ABORTED = "job-aborted"
+    RM_EXITED = "rm-exited"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class LMONEvent:
+    """A decoded event: LaunchMON semantics plus the native record."""
+
+    etype: LMONEventType
+    native: Optional[DebugEvent] = None
+    detail: Any = None

@@ -1,0 +1,30 @@
+"""The Event Manager: polls the traced RM process for native events."""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.cluster.process import DebugEvent
+from repro.mpir import TracedProcess
+
+__all__ = ["EventManager"]
+
+
+class EventManager:
+    """Waits on the OS debug interface of the traced launcher.
+
+    In real LaunchMON this is a waitpid/ptrace poll loop; here the traced
+    process's event queue provides the same blocking semantics. The manager
+    counts events so experiments can verify the scale-independence property
+    of a well-designed RM's event stream.
+    """
+
+    def __init__(self, tracer: TracedProcess):
+        self.tracer = tracer
+        self.events_delivered = 0
+
+    def poll(self) -> Generator[Any, Any, DebugEvent]:
+        """Block until the next native event from the RM process."""
+        event = yield from self.tracer.wait_event()
+        self.events_delivered += 1
+        return event

@@ -1,0 +1,89 @@
+"""Critical-path timeline (Figure 2) and per-component time accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Optional
+
+__all__ = ["ComponentTimes", "LaunchTimeline", "EVENT_NAMES"]
+
+#: The paper's eleven critical-path events of launchAndSpawn (Figure 2).
+EVENT_NAMES = [
+    "e0_client_call",        # client invokes the FE API function
+    "e1_engine_invoked",     # FE invokes the LaunchMON engine
+    "e2_launcher_started",   # engine executes the RM job launcher under control
+    "e3_breakpoint",         # RM stops at MPIR_Breakpoint (job spawned)
+    "e4_rpdtab_fetched",     # engine fetched the RPDTAB
+    "e5_daemon_spawn_req",   # engine invokes the daemon launch
+    "e6_daemons_spawned",    # RM finished spawning daemons
+    "e7_handshake_begin",    # LaunchMON handshaking starts
+    "e8_netsetup_begin",     # master BE starts fabric coordination
+    "e9_netsetup_done",      # inter-daemon network setup complete
+    "e10_ready",             # master sends ready to the front end
+    "e11_returned",          # control returns to the client
+]
+
+
+class LaunchTimeline:
+    """Ordered event-name -> virtual-time marks for one launch."""
+
+    def __init__(self) -> None:
+        self.marks: dict[str, float] = {}
+
+    def mark(self, name: str, t: float) -> None:
+        self.marks[name] = t
+
+    def span(self, a: str, b: str) -> float:
+        """T(a, b): duration between two recorded marks."""
+        return self.marks[b] - self.marks[a]
+
+    def total(self) -> float:
+        if "e0_client_call" in self.marks and "e11_returned" in self.marks:
+            return self.span("e0_client_call", "e11_returned")
+        times = sorted(self.marks.values())
+        return times[-1] - times[0] if len(times) > 1 else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.marks)
+
+
+@dataclass
+class ComponentTimes:
+    """Per-contributor decomposition of one launchAndSpawn/attachAndSpawn.
+
+    Fields map onto the paper's model: Region A = ``t_job + t_daemon +
+    t_setup + t_collective + t_trace``; Region B = ``t_rpdtab``; Region C =
+    ``t_handshake``; everything else is scale-independent ``t_other``.
+    """
+
+    t_job: float = 0.0          # T(job): spawning the application tasks
+    t_daemon: float = 0.0       # T(daemon): spawning the tool daemons
+    t_setup: float = 0.0        # T(setup): inter-daemon fabric wireup
+    t_collective: float = 0.0   # T(collective): handshake bcast/gather/scatter
+    t_trace: float = 0.0        # tracing the RM process (engine handlers)
+    t_rpdtab: float = 0.0       # Region B: fetching the RPDTAB
+    t_handshake: float = 0.0    # Region C: FE<->master handshake processing
+    t_other: float = 0.0        # remaining scale-independent LaunchMON costs
+    total: float = 0.0
+
+    def rm_time(self) -> float:
+        """Region A's RM-dominated share."""
+        return self.t_job + self.t_daemon + self.t_setup + self.t_collective
+
+    def launchmon_time(self) -> float:
+        """LaunchMON's own contribution (the paper's ~5.2% at 128 nodes)."""
+        return self.t_trace + self.t_rpdtab + self.t_handshake + self.t_other
+
+    def launchmon_fraction(self) -> float:
+        return self.launchmon_time() / self.total if self.total else 0.0
+
+    def close_books(self) -> None:
+        """Assign any unattributed time to ``t_other``."""
+        accounted = (self.rm_time() + self.t_trace + self.t_rpdtab
+                     + self.t_handshake + self.t_other)
+        slack = self.total - accounted
+        if slack > 0:
+            self.t_other += slack
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,44 @@
+"""repro.experiments -- runners regenerating every table and figure.
+
+Each runner sweeps the paper's parameter range on the simulated cluster and
+returns an :class:`~repro.experiments.common.ExperimentResult` whose rows
+mirror the published series:
+
+========  ==========================================================
+fig3      launchAndSpawn modeled vs measured breakdown (16..128 daemons)
+fig5      Jobsnap total vs init->attachAndSpawn (64..1024 daemons)
+fig6      STAT startup: MRNet-rsh vs LaunchMON (4..512 daemons)
+table1    O|SS APAI access times: DPCL vs LaunchMON (2..32 nodes)
+A1        ablation: legacy per-task RM debug events vs fixed SLURM
+A2        ablation: ICCL topology (flat vs binomial vs k-ary)
+A3        ablation: launcher mechanisms (rsh-seq, rsh-tree, RM)
+A4        extension: Jobsnap collection over a TBON (paper future work)
+========  ==========================================================
+
+Run from the command line: ``python -m repro.experiments fig3`` (or the
+installed ``repro-experiments`` script). ``--quick`` shrinks sweeps for CI.
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.table1 import run_table1
+from repro.experiments.ablations import (
+    run_ablation_iccl,
+    run_ablation_jobsnap_tbon,
+    run_ablation_launchers,
+    run_ablation_rm_events,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "run_ablation_iccl",
+    "run_ablation_jobsnap_tbon",
+    "run_ablation_launchers",
+    "run_ablation_rm_events",
+    "run_fig3",
+    "run_fig5",
+    "run_fig6",
+    "run_table1",
+]

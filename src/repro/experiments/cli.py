@@ -1,0 +1,67 @@
+"""Command-line entry point: ``repro-experiments <experiment> [--quick]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    run_ablation_iccl,
+    run_ablation_jobsnap_tbon,
+    run_ablation_launchers,
+    run_ablation_rm_events,
+    run_fig3,
+    run_fig5,
+    run_fig6,
+    run_table1,
+)
+
+__all__ = ["main"]
+
+QUICK_SWEEPS = {
+    "fig3": dict(daemon_counts=(16, 64, 128)),
+    "fig5": dict(daemon_counts=(64, 256, 512)),
+    "fig6": dict(node_counts=(4, 64, 256)),
+    "table1": dict(node_counts=(2, 8, 32)),
+    "A1": dict(daemon_counts=(16, 64)),
+    "A2": dict(daemon_counts=(16, 64)),
+    "A3": dict(daemon_counts=(16, 64)),
+    "A4": dict(daemon_counts=(64,)),
+}
+
+RUNNERS = {
+    "fig3": run_fig3,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "table1": run_table1,
+    "A1": run_ablation_rm_events,
+    "A2": run_ablation_iccl,
+    "A3": run_ablation_launchers,
+    "A4": run_ablation_jobsnap_tbon,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures on the "
+                    "simulated cluster.")
+    parser.add_argument("experiment", nargs="+",
+                        choices=sorted(RUNNERS) + ["all"],
+                        help="which experiment(s) to run")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sweeps (for CI / smoke runs)")
+    args = parser.parse_args(argv)
+
+    names = sorted(RUNNERS) if "all" in args.experiment else args.experiment
+    for name in names:
+        runner = RUNNERS[name]
+        kwargs = QUICK_SWEEPS.get(name, {}) if args.quick else {}
+        result = runner(**kwargs)
+        print(result.format_table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Shared experiment result container and table formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+__all__ = ["ExperimentResult", "fmt"]
+
+
+def fmt(value: Any) -> str:
+    """Human-format one cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.5f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's output: typed rows + provenance notes."""
+
+    exp_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    #: the paper's reference numbers for EXPERIMENTS.md comparison
+    paper_reference: dict = field(default_factory=dict)
+
+    def add_row(self, **cells: Any) -> None:
+        self.rows.append(cells)
+
+    def column(self, name: str) -> list:
+        return [r.get(name) for r in self.rows]
+
+    def row_for(self, key_col: str, key: Any) -> Optional[dict]:
+        for r in self.rows:
+            if r.get(key_col) == key:
+                return r
+        return None
+
+    def format_table(self) -> str:
+        header = [self.exp_id + ": " + self.title]
+        widths = {c: max(len(c), *(len(fmt(r.get(c))) for r in self.rows))
+                  if self.rows else len(c) for c in self.columns}
+        line = "  ".join(c.rjust(widths[c]) for c in self.columns)
+        header.append(line)
+        header.append("  ".join("-" * widths[c] for c in self.columns))
+        for r in self.rows:
+            header.append("  ".join(
+                fmt(r.get(c)).rjust(widths[c]) for c in self.columns))
+        for note in self.notes:
+            header.append(f"# {note}")
+        return "\n".join(header)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.format_table()

@@ -1,0 +1,20 @@
+"""repro.fe -- the LaunchMON front-end API (Section 3.2).
+
+The FE API serves the tool client: it launches or attaches to an RM
+process, co-locates back-end daemons with application tasks, launches
+middleware daemons, fetches the RPDTAB, transfers tool data, controls the
+job, and binds all of it through a *session* abstraction -- the seven
+requirements enumerated in the paper.
+
+Following the paper's design refinement, control/interaction and daemon
+co-location are fused into single operations: :meth:`ToolFrontEnd.launch_and_spawn`
+(``launchAndSpawn``) and :meth:`ToolFrontEnd.attach_and_spawn`
+(``attachAndSpawn``); there are deliberately no separated variants.
+Pack/unpack registration enables piggybacking tool data on LaunchMON's own
+handshake exchanges.
+"""
+
+from repro.fe.session import LMONSession, SessionState
+from repro.fe.api import FrontEndError, ToolFrontEnd
+
+__all__ = ["FrontEndError", "LMONSession", "SessionState", "ToolFrontEnd"]

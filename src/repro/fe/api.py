@@ -1,0 +1,313 @@
+"""The tool front-end runtime: sessions, launch/attach/spawn, data transfer.
+
+All operations are generators to be driven inside a simulation process
+(see :mod:`repro.runner` for the convenience harness). The FE runtime marks
+the client-visible critical-path events (e0, e7, e10, e11) and merges in the
+engine-side marks, producing the complete Figure 2 timeline plus the
+component decomposition used by Figure 3.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Generator, Optional
+
+from repro.apps import AppSpec
+from repro.be.context import BEContext
+from repro.cluster import Cluster, SimProcess
+from repro.engine import LaunchMONEngine
+from repro.fe.session import LMONSession, SessionState
+from repro.lmonp import (
+    FeToBe,
+    FeToEngine,
+    FeToMw,
+    LmonpMessage,
+    LmonpStream,
+    MsgClass,
+    security_token,
+)
+from repro.mpir import RPDTAB
+from repro.mw.context import MWContext
+from repro.rm.base import DaemonSpec, ResourceManager, RMJob
+from repro.simx import Store
+
+__all__ = ["FrontEndError", "ToolFrontEnd"]
+
+
+class FrontEndError(RuntimeError):
+    """FE API misuse or failed operations."""
+
+
+class ToolFrontEnd:
+    """The per-tool front-end runtime (``LMON_fe_*`` equivalent)."""
+
+    def __init__(self, cluster: Cluster, rm: ResourceManager,
+                 tool_name: str = "tool"):
+        self.cluster = cluster
+        self.rm = rm
+        self.sim = cluster.sim
+        self.tool_name = tool_name
+        self.proc: Optional[SimProcess] = None
+        #: the session resource descriptor table
+        self.sessions: dict[int, LMONSession] = {}
+
+    # -- init / sessions ------------------------------------------------------
+    def init(self) -> Generator[Any, Any, None]:
+        """``LMON_fe_init``: start the front-end runtime process."""
+        self.proc = yield from self.cluster.front_end.fork_exec(
+            f"{self.tool_name}-fe", image_mb=4.0)
+
+    def create_session(self) -> LMONSession:
+        """``LMON_fe_createSession``: allocate a session descriptor."""
+        session = LMONSession(self.tool_name)
+        self.sessions[session.id] = session
+        return session
+
+    # -- data-transfer registration ----------------------------------------------
+    def register_pack(self, session: LMONSession,
+                      fe_to_be: Optional[Callable[[Any], Any]] = None,
+                      be_to_fe: Optional[Callable[[Any], Any]] = None,
+                      fe_to_mw: Optional[Callable[[Any], Any]] = None,
+                      mw_to_fe: Optional[Callable[[Any], Any]] = None) -> None:
+        """Register pack/unpack transforms for piggybacked tool data.
+
+        Transforms map tool objects to/from JSON-able structures that ride
+        in the usr-payload section of LaunchMON's own handshake messages.
+        """
+        if fe_to_be is not None:
+            session.pack_fe_to_be = fe_to_be
+        if be_to_fe is not None:
+            session.unpack_be_to_fe = be_to_fe
+        if fe_to_mw is not None:
+            session.pack_fe_to_mw = fe_to_mw
+        if mw_to_fe is not None:
+            session.unpack_mw_to_fe = mw_to_fe
+
+    # -- launch / attach ------------------------------------------------------------
+    def launch_and_spawn(self, session: LMONSession, app: AppSpec,
+                         daemon_spec: DaemonSpec, usr_data: Any = None,
+                         ) -> Generator[Any, Any, LMONSession]:
+        """``launchAndSpawn``: start a job under tool control + daemons.
+
+        Returns when the daemon set is ready (e11). The complete critical
+        path of Figure 2 is recorded in ``session.timeline`` and decomposed
+        in ``session.times``.
+        """
+        session.require_state(SessionState.CREATED)
+        sim = self.sim
+        session.timeline.mark("e0_client_call", sim.now)
+        session.state = SessionState.SPAWNING
+
+        engine, engine_stream, rendezvous = yield from self._start_engine(session)
+        alloc = self.rm.allocate(app.nodes_needed())
+        factory = self._be_context_factory(session, rendezvous)
+
+        job, daemons, fabric, rpdtab = yield from engine.launch_and_spawn(
+            app, alloc, daemon_spec, factory)
+        self._bind(session, engine, job, daemons, fabric)
+
+        # the engine forwarded the RPDTAB over LMONP; consume it
+        msg = yield from engine_stream.expect(FeToEngine.PROCTAB)
+        session.rpdtab = RPDTAB.from_bytes(msg.lmon_payload)
+
+        yield from self._be_handshake(session, rendezvous, usr_data)
+        self._finish_timings(session)
+        session.state = SessionState.READY
+        return session
+
+    def attach_and_spawn(self, session: LMONSession, job: RMJob,
+                         daemon_spec: DaemonSpec, usr_data: Any = None,
+                         ) -> Generator[Any, Any, LMONSession]:
+        """``attachAndSpawn``: acquire an existing job + spawn daemons."""
+        session.require_state(SessionState.CREATED)
+        sim = self.sim
+        session.timeline.mark("e0_client_call", sim.now)
+        session.state = SessionState.SPAWNING
+
+        engine, engine_stream, rendezvous = yield from self._start_engine(session)
+        factory = self._be_context_factory(session, rendezvous)
+
+        job, daemons, fabric, rpdtab = yield from engine.attach_and_spawn(
+            job, daemon_spec, factory)
+        self._bind(session, engine, job, daemons, fabric)
+
+        msg = yield from engine_stream.expect(FeToEngine.PROCTAB)
+        session.rpdtab = RPDTAB.from_bytes(msg.lmon_payload)
+
+        yield from self._be_handshake(session, rendezvous, usr_data)
+        self._finish_timings(session)
+        session.state = SessionState.READY
+        return session
+
+    def launch_mw_daemons(self, session: LMONSession, mw_spec: DaemonSpec,
+                          n_nodes: int, usr_data: Any = None,
+                          topology: Optional[str] = None,
+                          ) -> Generator[Any, Any, LMONSession]:
+        """``launchMwDaemons``: middleware daemons on a fresh allocation."""
+        session.require_state(SessionState.READY, SessionState.MW_READY)
+        if session.engine is None:
+            raise FrontEndError("session has no engine")
+        sim = self.sim
+        alloc = self.rm.allocate(n_nodes)
+        rendezvous = Store(sim)
+        factory = self._mw_context_factory(session, rendezvous)
+        daemons, fabric = yield from session.engine.launch_mw(
+            alloc, mw_spec, factory, topology=topology)
+        session.mw_daemons = daemons
+        session.mw_fabric = fabric
+
+        # handshake with the master MW daemon
+        end = yield rendezvous.get()
+        token = security_token(session.key)
+        session.mw_stream = LmonpStream(end, token, name="fe-mw")
+        hs = yield from session.mw_stream.expect(FeToMw.HANDSHAKE)
+        yield sim.timeout(
+            self.cluster.costs.fe_handshake_per_daemon * max(0, hs.num_tasks))
+        packed = self._pack(session.pack_fe_to_mw, usr_data)
+        reply = LmonpMessage(
+            MsgClass.FE_MW, FeToMw.PROCTAB, num_tasks=len(session.rpdtab),
+            lmon_payload=session.rpdtab.to_bytes(),
+            usr_payload=packed)
+        yield session.mw_stream.send(reply)
+        yield from session.mw_stream.expect(FeToMw.READY)
+        session.state = SessionState.MW_READY
+        return session
+
+    # -- user data transfer ------------------------------------------------------------
+    def send_usrdata_be(self, session: LMONSession, obj: Any,
+                        ) -> Generator[Any, Any, None]:
+        """Ship tool data to the master back-end daemon."""
+        self._require_stream(session, "be_stream")
+        packed = self._pack(session.pack_fe_to_be, obj)
+        msg = LmonpMessage(MsgClass.FE_BE, FeToBe.USRDATA, usr_payload=packed)
+        yield session.be_stream.send(msg)
+
+    def recv_usrdata_be(self, session: LMONSession) -> Generator[Any, Any, Any]:
+        """Wait for tool data from the master back-end daemon."""
+        self._require_stream(session, "be_stream")
+        msg = yield from session.be_stream.expect(FeToBe.USRDATA)
+        data = json.loads(msg.usr_payload.decode()) if msg.usr_payload else None
+        if session.unpack_be_to_fe is not None:
+            data = session.unpack_be_to_fe(data)
+        return data
+
+    def send_usrdata_mw(self, session: LMONSession, obj: Any,
+                        ) -> Generator[Any, Any, None]:
+        self._require_stream(session, "mw_stream")
+        packed = self._pack(session.pack_fe_to_mw, obj)
+        msg = LmonpMessage(MsgClass.FE_MW, FeToMw.USRDATA, usr_payload=packed)
+        yield session.mw_stream.send(msg)
+
+    def recv_usrdata_mw(self, session: LMONSession) -> Generator[Any, Any, Any]:
+        self._require_stream(session, "mw_stream")
+        msg = yield from session.mw_stream.expect(FeToMw.USRDATA)
+        data = json.loads(msg.usr_payload.decode()) if msg.usr_payload else None
+        if session.unpack_mw_to_fe is not None:
+            data = session.unpack_mw_to_fe(data)
+        return data
+
+    # -- control ------------------------------------------------------------------------
+    def detach(self, session: LMONSession) -> Generator[Any, Any, None]:
+        """Release the job (daemons have finalized or keep running free)."""
+        if session.engine is not None:
+            yield from session.engine.detach()
+        session.state = SessionState.DETACHED
+
+    def kill(self, session: LMONSession) -> Generator[Any, Any, None]:
+        """Terminate the bound job and detach."""
+        if session.engine is None:
+            raise FrontEndError("session has no engine/job to kill")
+        yield from session.engine.kill_job()
+        session.state = SessionState.KILLED
+
+    # -- internals -------------------------------------------------------------------------
+    def _start_engine(self, session: LMONSession,
+                      ) -> Generator[Any, Any, tuple]:
+        """Fork the engine and build the FE<->engine LMONP connection."""
+        token = security_token(session.key)
+        pipe = self.cluster.network.pipe(
+            self.cluster.front_end.name, self.cluster.front_end.name)
+        engine_stream = LmonpStream(pipe.a, token, name="fe-engine")
+        engine = LaunchMONEngine(
+            self.cluster, self.rm,
+            fe_stream=LmonpStream(pipe.b, token, name="engine-fe"))
+        # share measurement objects so marks land in one place
+        engine.timeline = session.timeline
+        engine.times = session.times
+        yield from engine.start()
+        rendezvous = Store(self.sim)
+        return engine, engine_stream, rendezvous
+
+    def _be_context_factory(self, session: LMONSession, rendezvous: Store):
+        cluster = self.cluster
+
+        def factory(daemon, daemons, fabric) -> BEContext:
+            return BEContext(
+                sim=cluster.sim, node=daemon.node, proc=daemon.proc,
+                rank=daemon.rank, size=len(daemons), fabric=fabric,
+                session_key=session.key, fe_node=cluster.front_end,
+                fe_rendezvous=rendezvous)
+
+        return factory
+
+    def _mw_context_factory(self, session: LMONSession, rendezvous: Store):
+        cluster = self.cluster
+
+        def factory(daemon, daemons, fabric) -> MWContext:
+            return MWContext(
+                sim=cluster.sim, node=daemon.node, proc=daemon.proc,
+                rank=daemon.rank, size=len(daemons), fabric=fabric,
+                session_key=session.key, fe_node=cluster.front_end,
+                fe_rendezvous=rendezvous)
+
+        return factory
+
+    def _be_handshake(self, session: LMONSession, rendezvous: Store,
+                      usr_data: Any) -> Generator[Any, Any, None]:
+        """FE side of the master-BE handshake (e7 -> e10)."""
+        sim = self.sim
+        session.timeline.mark("e7_handshake_begin", sim.now)
+        end = yield rendezvous.get()
+        token = security_token(session.key)
+        session.be_stream = LmonpStream(end, token, name="fe-be")
+        hs = yield from session.be_stream.expect(FeToBe.HANDSHAKE)
+        # per-daemon processing of the daemon table
+        yield sim.timeout(
+            self.cluster.costs.fe_handshake_per_daemon * max(0, hs.num_tasks))
+        packed = self._pack(session.pack_fe_to_be, usr_data)
+        reply = LmonpMessage(
+            MsgClass.FE_BE, FeToBe.PROCTAB, num_tasks=len(session.rpdtab),
+            lmon_payload=session.rpdtab.to_bytes(), usr_payload=packed)
+        yield session.be_stream.send(reply)
+        ready = yield from session.be_stream.expect(FeToBe.READY)
+        session.timeline.mark("e10_ready", sim.now)
+        report = ready.lmon_json() or {}
+        session.times.t_setup = float(report.get("t_setup", 0.0))
+        session.times.t_collective = float(report.get("t_collective", 0.0))
+        # Region C: the handshake window minus the master-reported phases
+        window = session.timeline.span("e7_handshake_begin", "e10_ready")
+        session.times.t_handshake = max(
+            0.0, window - session.times.t_setup - session.times.t_collective)
+
+    def _finish_timings(self, session: LMONSession) -> None:
+        session.timeline.mark("e11_returned", self.sim.now)
+        session.times.total = session.timeline.total()
+        session.times.close_books()
+
+    @staticmethod
+    def _pack(pack_fn: Optional[Callable[[Any], Any]], obj: Any) -> bytes:
+        if obj is None:
+            return b""
+        structure = pack_fn(obj) if pack_fn is not None else obj
+        return LmonpMessage.json_payload(structure)
+
+    def _require_stream(self, session: LMONSession, attr: str) -> None:
+        if getattr(session, attr) is None:
+            raise FrontEndError(f"session {session.id}: no {attr} "
+                                f"(daemons not ready)")
+
+    def _bind(self, session: LMONSession, engine, job, daemons, fabric) -> None:
+        session.engine = engine
+        session.job = job
+        session.daemons = daemons
+        session.fabric = fabric

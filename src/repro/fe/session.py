@@ -1,0 +1,71 @@
+"""Session descriptors: the FE API's binding abstraction.
+
+A session groups one set of daemons with one job (Section 3.2): most FE
+procedures take a session handle, and the front-end runtime keeps a session
+resource descriptor table mapping handles to state.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.engine.timeline import ComponentTimes, LaunchTimeline
+
+__all__ = ["LMONSession", "SessionState"]
+
+
+class SessionState(enum.Enum):
+    CREATED = "created"
+    SPAWNING = "spawning"
+    READY = "ready"
+    MW_READY = "mw-ready"
+    DETACHED = "detached"
+    KILLED = "killed"
+
+
+class LMONSession:
+    """One tool session: a job, its daemon set(s), streams and timings."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, tool_name: str = "tool"):
+        self.id = next(LMONSession._ids)
+        self.tool_name = tool_name
+        #: shared secret from which LMONP security tokens derive
+        self.key = f"{tool_name}-session-{self.id}"
+        self.state = SessionState.CREATED
+        # bound objects (populated by launch/attach/spawn)
+        self.job = None
+        self.daemons: list = []
+        self.fabric = None
+        self.mw_daemons: list = []
+        self.mw_fabric = None
+        self.rpdtab = None
+        self.engine = None
+        self.be_stream = None
+        self.mw_stream = None
+        # data-transfer registration (jsonable-structure transforms)
+        self.pack_fe_to_be: Optional[Callable[[Any], Any]] = None
+        self.unpack_be_to_fe: Optional[Callable[[Any], Any]] = None
+        self.pack_fe_to_mw: Optional[Callable[[Any], Any]] = None
+        self.unpack_mw_to_fe: Optional[Callable[[Any], Any]] = None
+        # measurements
+        self.timeline = LaunchTimeline()
+        self.times = ComponentTimes()
+
+    @property
+    def n_daemons(self) -> int:
+        return len(self.daemons)
+
+    def require_state(self, *allowed: SessionState) -> None:
+        if self.state not in allowed:
+            raise RuntimeError(
+                f"session {self.id} in state {self.state}, needs one of "
+                f"{[s.value for s in allowed]}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<LMONSession {self.id} [{self.tool_name}] {self.state.value} "
+                f"daemons={self.n_daemons}>")

@@ -1,0 +1,121 @@
+"""LMONP header layout and message-type registries.
+
+Wire layout (16 bytes, network byte order)::
+
+    bits 0-2    msg class        (3 bits -- the communication pair)
+    bits 3-15   msg type         (13 bits -- meaning depends on class)
+    bytes 2-3   security check   (16 bits)
+    bytes 4-7   num tasks/daemons (32 bits)
+    bytes 8-11  lmon payload length (32 bits)
+    bytes 12-15 usr payload length  (32 bits)
+
+Three of the eight possible msg-class codes are in use, matching the paper;
+``MW_MW`` is reserved for spreading a communication infrastructure across
+multiple resource allocations (Section 3.5's extension path).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+
+__all__ = [
+    "FeToBe",
+    "FeToEngine",
+    "FeToMw",
+    "HEADER_SIZE",
+    "MsgClass",
+    "pack_header",
+    "unpack_header",
+]
+
+_HDR = struct.Struct(">HHIII")
+HEADER_SIZE = _HDR.size
+assert HEADER_SIZE == 16
+
+_TYPE_BITS = 13
+_TYPE_MASK = (1 << _TYPE_BITS) - 1
+MAX_TYPE = _TYPE_MASK
+MAX_CLASS = 0b111
+
+
+class MsgClass(enum.IntEnum):
+    """The 3-bit communication-pair field."""
+
+    FE_ENGINE = 1
+    FE_BE = 2
+    FE_MW = 3
+    #: reserved: (middleware, middleware) for multi-allocation TBONs
+    MW_MW = 4
+
+
+class FeToEngine(enum.IntEnum):
+    """Message types on the (front end, LaunchMON Engine) connection."""
+
+    LAUNCH_JOB = 1
+    ATTACH_JOB = 2
+    SPAWN_DAEMONS = 3
+    PROCTAB = 4
+    ENGINE_READY = 5
+    DETACH = 6
+    KILL_JOB = 7
+    SHUTDOWN_DAEMONS = 8
+    JOB_STATUS = 9
+    ERROR = 10
+
+
+class FeToBe(enum.IntEnum):
+    """Message types on the (front end, master back-end daemon) connection."""
+
+    HANDSHAKE = 1
+    READY = 2
+    PROCTAB = 3
+    USRDATA = 4
+    DETACH = 5
+    SHUTDOWN = 6
+    ERROR = 7
+
+
+class FeToMw(enum.IntEnum):
+    """Message types on the (front end, master middleware daemon) connection."""
+
+    HANDSHAKE = 1
+    READY = 2
+    PROCTAB = 3
+    USRDATA = 4
+    SHUTDOWN = 5
+    ERROR = 6
+
+
+_TYPE_ENUMS = {
+    MsgClass.FE_ENGINE: FeToEngine,
+    MsgClass.FE_BE: FeToBe,
+    MsgClass.FE_MW: FeToMw,
+}
+
+
+def type_enum_for(msg_class: MsgClass):
+    """Message-type enum registered for a class (None for reserved classes)."""
+    return _TYPE_ENUMS.get(msg_class)
+
+
+def pack_header(msg_class: int, msg_type: int, sec_chk: int,
+                num_tasks: int, lmon_len: int, usr_len: int) -> bytes:
+    """Pack the 16-byte header; validates field ranges."""
+    if not 0 <= msg_class <= MAX_CLASS:
+        raise ValueError(f"msg class {msg_class} exceeds 3 bits")
+    if not 0 <= msg_type <= MAX_TYPE:
+        raise ValueError(f"msg type {msg_type} exceeds 13 bits")
+    if not 0 <= sec_chk <= 0xFFFF:
+        raise ValueError("security check exceeds 16 bits")
+    word0 = (msg_class << _TYPE_BITS) | msg_type
+    return _HDR.pack(word0, sec_chk, num_tasks, lmon_len, usr_len)
+
+
+def unpack_header(data: bytes) -> tuple[int, int, int, int, int, int]:
+    """Unpack a header: (class, type, sec_chk, num_tasks, lmon_len, usr_len)."""
+    if len(data) < HEADER_SIZE:
+        raise ValueError(f"header needs {HEADER_SIZE} bytes, got {len(data)}")
+    word0, sec_chk, num_tasks, lmon_len, usr_len = _HDR.unpack_from(data)
+    return (word0 >> _TYPE_BITS, word0 & _TYPE_MASK, sec_chk,
+            num_tasks, lmon_len, usr_len)

@@ -1,0 +1,33 @@
+"""MPIR interface symbol names and debug-state values.
+
+These mirror the symbols the MPIR Process Acquisition Interface defines;
+RM launcher processes publish them in their (simulated) address space.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MPIR_BEING_DEBUGGED",
+    "MPIR_BREAKPOINT",
+    "MPIR_DEBUG_STATE",
+    "MPIR_DEBUG_SPAWNED",
+    "MPIR_NULL",
+    "MPIR_PROCTABLE",
+    "MPIR_PROCTABLE_SIZE",
+]
+
+#: int flag the tool sets before the launcher runs so it stops at the breakpoint
+MPIR_BEING_DEBUGGED = "MPIR_being_debugged"
+#: function symbol the launcher calls when job state changes
+MPIR_BREAKPOINT = "MPIR_Breakpoint"
+#: the RPDTAB: array of MPIR_PROCDESC {host_name, executable_name, pid}
+MPIR_PROCTABLE = "MPIR_proctable"
+#: number of entries in MPIR_proctable
+MPIR_PROCTABLE_SIZE = "MPIR_proctable_size"
+#: why the launcher stopped (one of the MPIR_DEBUG_* values below)
+MPIR_DEBUG_STATE = "MPIR_debug_state"
+
+#: MPIR_debug_state values
+MPIR_NULL = 0
+MPIR_DEBUG_SPAWNED = 1
+MPIR_DEBUG_ABORTING = 2

@@ -1,0 +1,14 @@
+"""repro.mw -- the LaunchMON middleware API (Section 3.4).
+
+Middleware daemons (TBON communication processes) launch onto dedicated
+allocations. Each simultaneously launched daemon receives a unique
+*personality handle* (an MPI-rank-like id), a simple pre-wired fabric for
+collective/point-to-point exchange, and the RPDTAB -- enough for a TBON
+implementation (e.g. MRNet) to bootstrap its own network, with tool data
+piggybacked on the front end's handshake exchanges.
+"""
+
+from repro.mw.context import MWContext
+from repro.mw.runtime import Middleware
+
+__all__ = ["MWContext", "Middleware"]

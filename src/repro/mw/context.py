@@ -1,0 +1,44 @@
+"""Execution context for launched middleware daemons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.simx import Simulator, Store
+from repro.be.iccl import ICCLFabric
+from repro.cluster import Node, SimProcess
+from repro.mpir import RPDTAB
+
+__all__ = ["MWContext"]
+
+
+@dataclass
+class MWContext:
+    """Per-middleware-daemon launch context.
+
+    ``rank`` is the daemon's *personality handle* -- the unique id the MW
+    API assigns to each simultaneously launched TBON daemon (Section 3.4).
+    """
+
+    sim: Simulator
+    node: Node
+    proc: SimProcess
+    rank: int
+    size: int
+    fabric: ICCLFabric
+    session_key: str
+    fe_node: Node
+    fe_rendezvous: Store
+    #: filled by the handshake: the target job's full RPDTAB
+    rpdtab: RPDTAB | None = None
+    #: filled by the handshake: (hostname, pid) per personality handle
+    daemon_table: list[tuple[str, int]] = field(default_factory=list)
+    #: tool data piggybacked by the front end (e.g. TBON topology)
+    usr_data_init: Any = None
+    tool_state: dict = field(default_factory=dict)
+
+    @property
+    def is_master(self) -> bool:
+        """Personality handle 0 acts as the TBON master daemon."""
+        return self.rank == 0

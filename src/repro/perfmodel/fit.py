@@ -1,0 +1,45 @@
+"""Empirical T(op) fitting (the paper's measure-small, predict-large method)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["FittedLine", "fit_component_scaling"]
+
+
+@dataclass(frozen=True)
+class FittedLine:
+    """A least-squares affine fit t = intercept + slope * n."""
+
+    intercept: float
+    slope: float
+    r2: float
+
+    def predict(self, n: float) -> float:
+        return self.intercept + self.slope * n
+
+    @property
+    def is_scale_independent(self) -> bool:
+        """True when the slope is negligible relative to the intercept."""
+        if self.intercept <= 0:
+            return abs(self.slope) < 1e-9
+        return abs(self.slope) * 1000 < self.intercept
+
+
+def fit_component_scaling(ns: Sequence[float], ts: Sequence[float],
+                          ) -> FittedLine:
+    """Fit t(n) = a + b*n by least squares; returns the line with R^2."""
+    if len(ns) != len(ts) or len(ns) < 2:
+        raise ValueError("need >= 2 (n, t) pairs of equal length")
+    x = np.asarray(ns, dtype=float)
+    y = np.asarray(ts, dtype=float)
+    design = np.vstack([np.ones_like(x), x]).T
+    coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+    pred = design @ coef
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return FittedLine(intercept=float(coef[0]), slope=float(coef[1]), r2=r2)

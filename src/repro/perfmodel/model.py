@@ -1,0 +1,159 @@
+"""Closed-form prediction of launchAndSpawn/attachAndSpawn components."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cluster.costs import CostModel
+from repro.engine.timeline import ComponentTimes
+from repro.rm.slurm import SlurmConfig
+
+__all__ = ["LaunchModel", "ModelInputs"]
+
+
+@dataclass(frozen=True)
+class ModelInputs:
+    """Workload parameters for one prediction."""
+
+    n_daemons: int
+    tasks_per_daemon: int = 8
+    mode: str = "launch"  # "launch" | "attach"
+    daemon_image_mb: float = 1.0
+    app_image_mb: float = 4.0
+
+    @property
+    def n_tasks(self) -> int:
+        return self.n_daemons * self.tasks_per_daemon
+
+
+class LaunchModel:
+    """The Section 4 analytic model, parameterized by the same constants
+    that drive the simulation (so disagreement indicates a modeling error,
+    not a calibration gap)."""
+
+    def __init__(self, costs: CostModel | None = None,
+                 slurm: SlurmConfig | None = None, fs_servers: int = 1):
+        self.costs = costs or CostModel()
+        self.slurm = slurm or SlurmConfig()
+        self.fs_servers = max(1, fs_servers)
+
+    # -- helpers ------------------------------------------------------------
+    def _tree_depth(self, n: int) -> float:
+        return max(1, math.ceil(math.log(max(2, n), self.slurm.fanout)))
+
+    def _image_serial(self, image_mb: float, n_loads: int) -> float:
+        """Shared-FS serialized image distribution across n_loads nodes."""
+        per = self.costs.fs_open + image_mb * 1024 * 1024 / self.costs.fs_bandwidth
+        return per * n_loads / self.fs_servers
+
+    def _hop_msg(self) -> float:
+        return (self.costs.net_latency + self.costs.msg_overhead
+                + self.costs.tcp_connect * 0)
+
+    # -- per-component terms -------------------------------------------------
+    def n_debug_events(self) -> int:
+        """Events the engine handles during one traced launch."""
+        # EXEC + (count-3) helper forks + MPIR_Breakpoint
+        return self.slurm.debug_event_count - 1
+
+    def t_trace(self, inp: ModelInputs) -> float:
+        if inp.mode != "launch":
+            return 0.0
+        n_events = self.n_debug_events()
+        if self.slurm.legacy_events:
+            n_events += inp.n_tasks
+        return n_events * self.costs.event_handle
+
+    def t_job(self, inp: ModelInputs) -> float:
+        if inp.mode != "launch":
+            return 0.0
+        c, s = self.costs, self.slurm
+        n = inp.n_daemons
+        n_events = self.n_debug_events()
+        if s.legacy_events:
+            n_events += inp.n_tasks
+        per_event_os = c.ptrace_trap + c.ptrace_continue
+        return (s.ctl_job_setup
+                + s.ctl_per_node_job * n
+                + self._tree_depth(n) * s.hop_cost
+                + self._image_serial(inp.app_image_mb, n)
+                + inp.tasks_per_daemon * c.fork_exec
+                + s.pmi_per_task * inp.n_tasks
+                + n_events * per_event_os
+                + c.ptrace_continue)
+
+    def t_rpdtab(self, inp: ModelInputs) -> float:
+        # one size read + three word-granular reads per task
+        return (1 + 3 * inp.n_tasks) * self.costs.ptrace_word_read
+
+    def t_daemon(self, inp: ModelInputs) -> float:
+        c, s = self.costs, self.slurm
+        n = inp.n_daemons
+        congestion = s.ctl_congestion_per_node * max(
+            0, n - s.ctl_congestion_threshold)
+        return (c.fork_exec  # the transient daemon launcher
+                + s.ctl_daemon_setup
+                + s.ctl_per_node_daemon * n
+                + congestion
+                + self._tree_depth(n) * s.hop_cost
+                + self._image_serial(inp.daemon_image_mb, n)
+                + c.fork_exec)
+
+    def t_setup(self, inp: ModelInputs) -> float:
+        """Fabric wireup: connects in parallel + synchronizing barrier."""
+        c = self.costs
+        n = inp.n_daemons
+        if n <= 1:
+            return c.tcp_connect
+        depth = max(1, math.ceil(math.log2(n)))
+        accept = 0.00005
+        barrier_msgs = 4 * depth * (c.net_latency + c.msg_overhead + 0.0001)
+        return c.tcp_connect + accept * depth + barrier_msgs
+
+    def t_collective(self, inp: ModelInputs) -> float:
+        """Handshake gather + scatter through the RM fabric."""
+        s, c = self.slurm, self.costs
+        n = inp.n_daemons
+        per_rec = 2 * s.fabric_per_rec * max(0, n - 1)
+        # gathered daemon records + scattered proctable slices
+        gather_bytes = 40 * n
+        scatter_bytes = 24 * inp.n_tasks
+        transfer = (gather_bytes + scatter_bytes) / c.net_bandwidth
+        depth = max(1, math.ceil(math.log2(max(2, n))))
+        hops = 3 * depth * (c.net_latency + c.msg_overhead + 0.0001)
+        return per_rec + transfer + hops
+
+    def t_handshake(self, inp: ModelInputs) -> float:
+        """Region C: FE-side processing + proctable/ready transfers."""
+        c = self.costs
+        rpdtab_bytes = 22 * inp.n_tasks + 24 * inp.n_daemons
+        return (c.fe_handshake_per_daemon * inp.n_daemons
+                + c.tcp_connect
+                + rpdtab_bytes / c.net_bandwidth
+                + 4 * (c.net_latency + c.msg_overhead))
+
+    def t_other(self, inp: ModelInputs) -> float:
+        """Scale-independent LaunchMON costs (the paper's ~12 ms)."""
+        c = self.costs
+        return (2 * c.fork_exec          # FE runtime + engine processes
+                + c.ptrace_attach
+                + 2 * c.ptrace_word_read
+                + 2 * c.ptrace_continue
+                + 0.004)                 # session bookkeeping + engine msg
+
+    # -- the full prediction ------------------------------------------------------
+    def predict(self, inp: ModelInputs) -> ComponentTimes:
+        times = ComponentTimes(
+            t_job=self.t_job(inp),
+            t_daemon=self.t_daemon(inp),
+            t_setup=self.t_setup(inp),
+            t_collective=self.t_collective(inp),
+            t_trace=self.t_trace(inp),
+            t_rpdtab=self.t_rpdtab(inp),
+            t_handshake=self.t_handshake(inp),
+            t_other=self.t_other(inp),
+        )
+        times.total = (times.rm_time() + times.t_trace + times.t_rpdtab
+                       + times.t_handshake + times.t_other)
+        return times

@@ -1,0 +1,235 @@
+"""Abstract resource-manager model: allocations, jobs, daemon colocations.
+
+A :class:`ResourceManager` owns node allocation and the two launch services
+LaunchMON builds on:
+
+* ``launch_job`` -- start a parallel application through the RM's native
+  launcher process (which publishes the MPIR symbols for the APAI);
+* ``spawn_daemons`` -- the *efficient daemon launch command* (Section 3.1):
+  start one tool daemon per application node, reusing the RM's scalable
+  launch machinery and its pre-wired communication fabric.
+
+Daemon processes are real :class:`~repro.simx.Process` instances running the
+tool's back-end body, so tool code executes concurrently with the rest of
+the simulation just as real daemons would.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from repro.simx import SeededRNG, Simulator
+from repro.apps import AppSpec
+from repro.cluster import Cluster, Node, SimProcess
+from repro.mpir import (
+    MPIR_BEING_DEBUGGED,
+    MPIR_DEBUG_SPAWNED,
+    MPIR_DEBUG_STATE,
+    MPIR_NULL,
+    MPIR_PROCTABLE,
+    MPIR_PROCTABLE_SIZE,
+    ProcDesc,
+    RPDTAB,
+)
+
+__all__ = [
+    "Allocation",
+    "DaemonSpec",
+    "JobState",
+    "LaunchedDaemon",
+    "RMError",
+    "RMJob",
+    "ResourceManager",
+    "UnsupportedOperation",
+]
+
+
+class RMError(RuntimeError):
+    """Resource-manager failures (no nodes, bad job state, ...)."""
+
+
+class UnsupportedOperation(RMError):
+    """The platform's RM does not offer this service (e.g. daemon launch)."""
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    LAUNCHING = "launching"
+    STOPPED_AT_BREAKPOINT = "stopped-at-breakpoint"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+@dataclass
+class Allocation:
+    """A set of compute nodes granted to one request."""
+
+    alloc_id: int
+    nodes: list[Node]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass
+class DaemonSpec:
+    """What to launch on each node: executable identity plus the daemon body.
+
+    ``main`` is the tool's daemon entry point -- a generator function taking
+    the context object the launching service provides (a
+    :class:`~repro.be.context.BEContext` for back ends, an
+    :class:`~repro.mw.context.MWContext` for middleware). ``image_mb`` feeds
+    the shared-filesystem load model: heavyweight tool stacks (MRNet + STAT)
+    pay real image-distribution costs that lightweight ones (Jobsnap) avoid.
+    """
+
+    executable: str
+    main: Callable[[Any], Generator]
+    image_mb: float = 4.0
+    args: tuple = ()
+    uid: str = "user"
+
+
+@dataclass
+class LaunchedDaemon:
+    """One spawned daemon: its process, placement and daemon rank."""
+
+    rank: int
+    node: Node
+    proc: SimProcess
+    sim_proc: Optional[object] = None  # the simx.Process running its body
+
+
+class RMJob:
+    """A launched parallel job under RM control."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, app: AppSpec, allocation: Allocation,
+                 launcher: SimProcess):
+        self.jobid = next(RMJob._ids)
+        self.app = app
+        self.allocation = allocation
+        self.launcher = launcher
+        self.tasks: list[SimProcess] = []
+        self.state = JobState.PENDING
+        self.daemons: list[LaunchedDaemon] = []
+
+    def build_proctable(self) -> RPDTAB:
+        """Assemble the RPDTAB from the live task set."""
+        return RPDTAB(
+            ProcDesc(rank=i, host_name=t.host,
+                     executable_name=t.executable, pid=t.pid)
+            for i, t in enumerate(self.tasks))
+
+    def publish_mpir(self, stopped: bool = True) -> None:
+        """Write the MPIR symbols into the launcher's address space.
+
+        ``MPIR_debug_state`` is SPAWNED once all tasks exist -- this is what
+        makes later *attach* acquisition possible without stopping the job.
+        """
+        table = [ProcDesc(rank=i, host_name=t.host,
+                          executable_name=t.executable, pid=t.pid)
+                 for i, t in enumerate(self.tasks)]
+        mem = self.launcher.memory
+        mem[MPIR_PROCTABLE] = table
+        mem[MPIR_PROCTABLE_SIZE] = len(table)
+        mem[MPIR_DEBUG_STATE] = MPIR_DEBUG_SPAWNED
+
+
+class ResourceManager:
+    """Base RM: allocation bookkeeping plus the service interface."""
+
+    name = "abstract-rm"
+    #: whether the native launcher can co-locate tool daemons scalably
+    supports_daemon_launch = True
+    #: whether the RM wires a fabric the ICCL can bootstrap from
+    provides_fabric = True
+
+    def __init__(self, cluster: Cluster, seed: int = 7):
+        self.cluster = cluster
+        self.sim: Simulator = cluster.sim
+        self.rng = SeededRNG(seed, f"rm:{self.name}")
+        self._alloc_ids = itertools.count(1)
+        self._allocated: set[str] = set()
+        self.jobs: list[RMJob] = []
+
+    # -- allocation ---------------------------------------------------------
+    def allocate(self, n_nodes: int) -> Allocation:
+        """Grant ``n_nodes`` free compute nodes (deterministic order)."""
+        free = [n for n in self.cluster.compute if n.name not in self._allocated]
+        if len(free) < n_nodes:
+            raise RMError(
+                f"{self.name}: requested {n_nodes} nodes, only "
+                f"{len(free)} free of {len(self.cluster.compute)}")
+        granted = free[:n_nodes]
+        for n in granted:
+            self._allocated.add(n.name)
+        return Allocation(alloc_id=next(self._alloc_ids), nodes=granted)
+
+    def release(self, alloc: Allocation) -> None:
+        for n in alloc.nodes:
+            self._allocated.discard(n.name)
+
+    # -- service interface (platform-specific) -------------------------------
+    def launcher_executable(self) -> str:
+        raise NotImplementedError
+
+    def launch_job(self, app: AppSpec, alloc: Allocation,
+                   being_debugged: bool = False,
+                   ) -> Generator[Any, Any, RMJob]:
+        """Launch ``app`` on ``alloc``; returns the job with MPIR published.
+
+        With ``being_debugged`` the launcher behaves as if
+        ``MPIR_being_debugged`` were set: it delivers debug events to its
+        tracer and stops at ``MPIR_Breakpoint`` once all tasks exist.
+        """
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def spawn_daemons(self, job: RMJob, spec: DaemonSpec,
+                      context_factory: Callable[[LaunchedDaemon, Sequence[LaunchedDaemon]], Any],
+                      ) -> Generator[Any, Any, list[LaunchedDaemon]]:
+        """Co-locate one daemon per job node via the native launcher.
+
+        ``context_factory(daemon, all_daemons)`` builds the context object
+        handed to ``spec.main``; the RM starts each body as a sim process.
+        """
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def spawn_on_allocation(self, alloc: Allocation, spec: DaemonSpec,
+                            context_factory: Callable[[LaunchedDaemon, Sequence[LaunchedDaemon]], Any],
+                            ) -> Generator[Any, Any, list[LaunchedDaemon]]:
+        """Launch daemons onto a fresh allocation (middleware/TBON nodes)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- shared helpers ------------------------------------------------------
+    def _start_daemon_bodies(self, daemons: list[LaunchedDaemon],
+                             spec: DaemonSpec, context_factory) -> None:
+        """Start each daemon's tool body as a simulation process."""
+        for d in daemons:
+            ctx = context_factory(d, daemons)
+            d.sim_proc = self.sim.process(
+                spec.main(ctx), name=f"{spec.executable}[{d.rank}]")
+
+    def _place_tasks(self, app: AppSpec, alloc: Allocation) -> list[tuple[Node, int]]:
+        """Block placement: (node, rank) pairs, tasks_per_node per node."""
+        placement: list[tuple[Node, int]] = []
+        rank = 0
+        for node in alloc.nodes:
+            for _ in range(app.tasks_per_node):
+                if rank >= app.n_tasks:
+                    return placement
+                placement.append((node, rank))
+                rank += 1
+        if rank < app.n_tasks:
+            raise RMError(
+                f"allocation of {len(alloc)} nodes too small for "
+                f"{app.n_tasks} tasks at {app.tasks_per_node}/node")
+        return placement

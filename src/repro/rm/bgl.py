@@ -1,0 +1,45 @@
+"""BlueGene/L-style resource manager (mpirun).
+
+Section 4 reports that LaunchMON's own overheads were similar on BG/L but
+the RM's T(job) and T(daemon) were *significantly higher* -- mpirun's
+spawning services were slower, prompting work with IBM. We model that as
+the same protocol with scaled cost constants (and no rshd on compute nodes,
+the defining MPP restriction from Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.cluster import Cluster
+from repro.rm.slurm import SlurmConfig, SlurmRM
+
+__all__ = ["BglMpirunRM"]
+
+
+#: How much slower BG/L's control system is at spawn-type operations.
+BGL_SPAWN_FACTOR = 4.0
+
+
+class BglMpirunRM(SlurmRM):
+    """mpirun on BG/L: the same services, markedly costlier spawning."""
+
+    name = "bgl-mpirun"
+
+    def __init__(self, cluster: Cluster, config: Optional[SlurmConfig] = None,
+                 seed: int = 7, spawn_factor: float = BGL_SPAWN_FACTOR):
+        base = config or SlurmConfig()
+        scaled = replace(
+            base,
+            ctl_job_setup=base.ctl_job_setup * spawn_factor,
+            ctl_per_node_job=base.ctl_per_node_job * spawn_factor,
+            ctl_daemon_setup=base.ctl_daemon_setup * spawn_factor,
+            ctl_per_node_daemon=base.ctl_per_node_daemon * spawn_factor,
+            hop_cost=base.hop_cost * 2.0,
+        )
+        super().__init__(cluster, config=scaled, seed=seed)
+        self.spawn_factor = spawn_factor
+
+    def launcher_executable(self) -> str:
+        return "mpirun"

@@ -1,0 +1,91 @@
+"""A bare cluster 'RM': allocation only, no native launch services.
+
+This models the environment that forces tools into ad-hoc practices
+(Section 2): the scheduler hands out nodes, but there is no scalable
+daemon-launch command and no tool fabric. ``spawn_daemons`` raises
+:class:`~repro.rm.base.UnsupportedOperation`; job launch itself falls back
+to a sequential rsh loop. LaunchMON cannot run its efficient path here,
+which is the portability gap the paper's abstraction closes on real RMs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.apps import AppSpec
+from repro.mpir import MPIR_BEING_DEBUGGED
+from repro.rm.base import (
+    Allocation,
+    DaemonSpec,
+    JobState,
+    ResourceManager,
+    RMJob,
+    UnsupportedOperation,
+)
+
+__all__ = ["RshRM"]
+
+
+class RshRM(ResourceManager):
+    """No native launcher: jobs start via a sequential rsh loop."""
+
+    name = "rsh-only"
+    supports_daemon_launch = False
+    provides_fabric = False
+
+    def launcher_executable(self) -> str:
+        return "mpirun-rsh"
+
+    def create_launcher(self, app: AppSpec, alloc: Allocation,
+                        ) -> Generator[Any, Any, RMJob]:
+        fe = self.cluster.front_end
+        launcher = yield from fe.fork_exec(
+            self.launcher_executable(), args=(app.executable,), image_mb=1.0)
+        launcher.stop()
+        job = RMJob(app, alloc, launcher)
+        self.jobs.append(job)
+        return job
+
+    def run_launcher(self, job: RMJob) -> Generator[Any, Any, RMJob]:
+        """Sequential rsh start of every task -- the slow, fragile path."""
+        launcher = job.launcher
+        if launcher.state.value == "T":
+            yield launcher.wait_resumed()
+        job.state = JobState.LAUNCHING
+        app = job.app
+        fe = self.cluster.front_end
+        for node, rank in self._place_tasks(app, job.allocation):
+            _client, proc = yield from fe.rsh_spawn(
+                node, app.executable, args=(f"rank={rank}",),
+                image_mb=app.image_mb if rank % app.tasks_per_node == 0 else 0.0,
+                hold_client=False)
+            proc.memory["_rank"] = rank
+            app.apply_behavior(proc, rank)
+            job.tasks.append(proc)
+        traced = launcher.memory.get(MPIR_BEING_DEBUGGED, 0)
+        job.publish_mpir(stopped=bool(traced))
+        job.state = JobState.RUNNING
+        return job
+
+    def launch_job(self, app: AppSpec, alloc: Allocation,
+                   being_debugged: bool = False,
+                   ) -> Generator[Any, Any, RMJob]:
+        job = yield from self.create_launcher(app, alloc)
+        job.launcher.resume()
+        yield from self.run_launcher(job)
+        return job
+
+    def spawn_daemons(self, job: RMJob, spec: DaemonSpec,
+                      context_factory: Callable[..., Any],
+                      topology=None) -> Generator[Any, Any, Any]:
+        raise UnsupportedOperation(
+            f"{self.name}: no native tool-daemon launch service; "
+            f"use an ad-hoc launcher (repro.adhoc) or a capable RM")
+        yield  # pragma: no cover
+
+    def spawn_on_allocation(self, alloc: Allocation, spec: DaemonSpec,
+                            context_factory: Callable[..., Any],
+                            topology=None) -> Generator[Any, Any, Any]:
+        raise UnsupportedOperation(
+            f"{self.name}: no native middleware launch service")
+        yield  # pragma: no cover

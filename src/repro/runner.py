@@ -1,0 +1,62 @@
+"""Convenience harness: build a simulated environment and drive tool code.
+
+Typical use (this is what the examples do)::
+
+    from repro.runner import make_env, drive
+
+    env = make_env(n_compute=64)
+
+    def tool(env):
+        fe = ToolFrontEnd(env.cluster, env.rm, "mytool")
+        yield from fe.init()
+        ...
+
+    drive(env, tool(env))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional, Type
+
+from repro.cluster import Cluster, ClusterSpec, CostModel
+from repro.rm import ResourceManager, SlurmRM
+from repro.simx import Simulator
+
+__all__ = ["SimEnv", "drive", "make_env"]
+
+
+@dataclass
+class SimEnv:
+    """One simulated machine plus its resource manager."""
+
+    sim: Simulator
+    cluster: Cluster
+    rm: ResourceManager
+
+
+def make_env(n_compute: int = 16,
+             rm_cls: Type[ResourceManager] = SlurmRM,
+             spec: Optional[ClusterSpec] = None,
+             costs: Optional[CostModel] = None,
+             seed: int = 1,
+             **rm_kwargs: Any) -> SimEnv:
+    """Build a simulator, cluster and RM ready for tool runs."""
+    sim = Simulator()
+    cluster_spec = spec or ClusterSpec(n_compute=n_compute, seed=seed)
+    cluster = Cluster(sim, cluster_spec, costs=costs)
+    rm = rm_cls(cluster, **rm_kwargs)
+    return SimEnv(sim=sim, cluster=cluster, rm=rm)
+
+
+def drive(env: SimEnv, gen: Generator, until: Optional[float] = None) -> Any:
+    """Run a tool-driver generator to completion; return its value.
+
+    Raises whatever the generator raised (failures do not pass silently).
+    """
+    proc = env.sim.process(gen, name="tool-driver")
+    env.sim.run(until=until)
+    if not proc.triggered:
+        raise RuntimeError(
+            f"tool driver did not finish by t={env.sim.now}")
+    return proc.value

@@ -1,0 +1,429 @@
+"""Core event loop: events, generator processes and the simulator.
+
+The kernel implements a strict event-driven execution model:
+
+* an :class:`Event` is a one-shot future with callbacks;
+* a :class:`Process` wraps a generator; each value the generator yields must
+  be an :class:`Event`, and the process resumes when that event triggers;
+* the :class:`Simulator` owns a binary heap of ``(time, priority, seq, event)``
+  entries and processes them in deterministic order.
+
+Determinism contract: two events scheduled for the same time trigger in the
+order they were scheduled (``seq`` is a monotone counter); no wall-clock or
+global RNG state is consulted anywhere in the kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+_PENDING = object()
+
+#: Priority for ordinary events.
+NORMAL = 1
+#: Priority used for process-bootstrap events so a newly created process
+#: starts before same-time ordinary callbacks fire.
+URGENT = 0
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (yielding non-events, running a dead sim...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries an arbitrary user payload describing why the process
+    was interrupted (e.g. a failure notice from a supervising daemon).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence with a value and subscriber callbacks.
+
+    Events move through three states: *pending* (just created), *triggered*
+    (``succeed``/``fail`` called; scheduled on the simulator heap) and
+    *processed* (callbacks have run). A failed event whose exception is never
+    observed by any process raises at ``run()`` time so errors cannot vanish
+    silently.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._exc: Optional[BaseException] = None
+        self._defused = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once ``succeed``/``fail`` has been called."""
+        return self._value is not _PENDING or self._exc is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once all callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("value of untriggered event")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self.sim._enqueue(self, 0.0, NORMAL)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception to be thrown into waiters."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exc = exc
+        self._value = None
+        self.sim._enqueue(self, 0.0, NORMAL)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        for cb in callbacks:  # type: ignore[union-attr]
+            cb(self)
+        if self._exc is not None and not self._defused:
+            raise self._exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self._defused = True  # a timeout cannot fail
+        sim._enqueue(self, delay, NORMAL)
+
+    # a Timeout is born triggered-in-the-future; succeed/fail are invalid.
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("cannot succeed() a Timeout")
+
+    def fail(self, exc: BaseException) -> "Event":  # pragma: no cover
+        raise SimulationError("cannot fail() a Timeout")
+
+    @property
+    def triggered(self) -> bool:
+        return True
+
+
+class _Initialize(Event):
+    """Bootstrap event that starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self._value = None
+        self._defused = True
+        self.callbacks.append(process._resume)  # type: ignore[union-attr]
+        sim._enqueue(self, 0.0, URGENT)
+
+    @property
+    def triggered(self) -> bool:
+        return True
+
+
+class Process(Event):
+    """A generator-based simulated process.
+
+    The process is itself an :class:`Event` that triggers with the
+    generator's return value when it finishes (or fails with its unhandled
+    exception), so processes can wait on each other by yielding a
+    :class:`Process`.
+    """
+
+    __slots__ = ("_gen", "_target", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any],
+                 name: str = ""):
+        if not hasattr(gen, "throw"):
+            raise SimulationError(f"process requires a generator, got {gen!r}")
+        super().__init__(sim)
+        self._gen = gen
+        self._target: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+        if self._target is self.sim._active_proc:  # pragma: no cover
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_ev = Event(self.sim)
+        interrupt_ev._value = None
+        interrupt_ev._exc = Interrupt(cause)
+        interrupt_ev._defused = True
+        interrupt_ev.callbacks.append(self._resume)  # type: ignore[union-attr]
+        # Detach from the event we were waiting on: when it later triggers it
+        # must not resume us again.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        self._target = None
+        self.sim._enqueue(interrupt_ev, 0.0, URGENT)
+
+    def _resume(self, event: Event) -> None:
+        self.sim._active_proc = self
+        while True:
+            try:
+                if event._exc is None:
+                    next_ev = self._gen.send(event._value)
+                else:
+                    event._defused = True
+                    next_ev = self._gen.throw(event._exc)
+            except StopIteration as stop:
+                self._target = None
+                self.sim._active_proc = None
+                if self.triggered:  # pragma: no cover - defensive
+                    return
+                self._value = stop.value
+                self.sim._enqueue(self, 0.0, NORMAL)
+                return
+            except BaseException as exc:
+                self._target = None
+                self.sim._active_proc = None
+                self._exc = exc
+                self._value = None
+                self.sim._enqueue(self, 0.0, NORMAL)
+                return
+
+            if not isinstance(next_ev, Event):
+                self.sim._active_proc = None
+                raise SimulationError(
+                    f"process {self.name!r} yielded non-event {next_ev!r}")
+            if next_ev.sim is not self.sim:  # pragma: no cover - defensive
+                self.sim._active_proc = None
+                raise SimulationError("yielded event from a foreign simulator")
+
+            if next_ev.callbacks is not None:
+                # Not yet processed: subscribe and suspend.
+                next_ev.callbacks.append(self._resume)
+                self._target = next_ev
+                self.sim._active_proc = None
+                return
+            # Already processed: continue immediately with its outcome.
+            event = next_ev
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events.
+
+    Completion is tracked by *processed* children (callbacks delivered), not
+    by the ``triggered`` flag -- a Timeout is conceptually triggered from
+    birth but only counts once its scheduled moment has passed.
+    """
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        for ev in self._events:
+            if ev.sim is not sim:
+                raise SimulationError("condition spans multiple simulators")
+        self._remaining = 0
+        for ev in self._events:
+            if ev.callbacks is None:
+                # already processed before the condition existed
+                if ev._exc is not None and not self.triggered:
+                    ev._defused = True
+                    self._trigger_fail(ev._exc)
+            else:
+                self._remaining += 1
+                ev.callbacks.append(self._on_child)
+        if not self.triggered:
+            self._initial_check()
+
+    def _trigger_fail(self, exc: BaseException) -> None:
+        self._exc = exc
+        self._value = None
+        self.sim._enqueue(self, 0.0, NORMAL)
+
+    def _trigger_ok(self) -> None:
+        self._value = self._collect()
+        self.sim._enqueue(self, 0.0, NORMAL)
+
+    def _on_child(self, ev: Event) -> None:
+        self._remaining -= 1
+        if self.triggered:
+            return
+        if ev._exc is not None:
+            ev._defused = True
+            self._trigger_fail(ev._exc)
+        else:
+            self._child_done()
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self._events
+                if ev.processed and ev._exc is None}
+
+    def _initial_check(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _child_done(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every child event has been processed (fails fast)."""
+
+    __slots__ = ()
+
+    def _initial_check(self) -> None:
+        if self._remaining == 0:
+            self._trigger_ok()
+
+    def _child_done(self) -> None:
+        if self._remaining == 0:
+            self._trigger_ok()
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any child event is processed."""
+
+    __slots__ = ()
+
+    def _initial_check(self) -> None:
+        if self._remaining < len(self._events) or not self._events:
+            self._trigger_ok()
+
+    def _child_done(self) -> None:
+        self._trigger_ok()
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(1.5)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert sim.now == 1.5 and proc.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = count()
+        self._active_proc: Optional[Process] = None
+
+    # -- time ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds by convention in this project)."""
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a pending event to be triggered manually."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that triggers ``delay`` virtual seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Start a new process from generator ``gen``."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling / execution -------------------------------------------
+    def _enqueue(self, event: Event, delay: float, priority: int) -> None:
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the schedule drains or ``until`` (exclusive for events
+        strictly beyond it; the clock is advanced to ``until``)."""
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"until={until} lies in the past (now={self._now})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until

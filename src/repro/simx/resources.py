@@ -1,0 +1,68 @@
+"""Counted FIFO resources (e.g. a node's process-table slots or cores)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.simx.core import Event, SimulationError, Simulator
+
+__all__ = ["Resource"]
+
+
+class Resource:
+    """A resource with integer capacity and strictly FIFO grant order.
+
+    ``request()`` returns an event that triggers when a slot is granted;
+    ``release()`` frees one slot. ``try_request()`` is the non-blocking
+    variant used to model hard failures (e.g. ``fork`` returning ``EAGAIN``
+    when a node's process table is full) instead of queueing.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = ""):
+        if capacity < 1:
+            raise SimulationError("Resource capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        #: high-water mark of concurrent holders, for diagnostics
+        self.max_in_use = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def request(self) -> Event:
+        """Blocking acquire: event triggers when a slot becomes free."""
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._grant(ev)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def try_request(self) -> bool:
+        """Non-blocking acquire. True on success, False if at capacity."""
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self.max_in_use = max(self.max_in_use, self._in_use)
+            return True
+        return False
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release() of idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._waiters:
+            self._grant(self._waiters.popleft())
+
+    def _grant(self, ev: Event) -> None:
+        self._in_use += 1
+        self.max_in_use = max(self.max_in_use, self._in_use)
+        ev.succeed(self)

@@ -1,0 +1,44 @@
+"""repro.tbon -- a Tree-Based Overlay Network (MRNet-style).
+
+Large-scale tools use TBONs for scalable multicast and data reduction
+(Section 2): a front end, optional internal *communication daemons*, and
+per-node back ends, connected in a tree. Packets broadcast down the tree
+and gather up through *filters* that reduce child payloads at each internal
+node (STAT's call-graph prefix-tree merge is the canonical filter).
+
+Two startup paths are provided, matching Figure 6's comparison:
+
+* :func:`~repro.tbon.startup.native_startup` -- the ad-hoc path: the front
+  end rsh-es every daemon sequentially and distributes the topology through
+  a shared file; it is linear in daemon count and collapses entirely when
+  the front end can no longer fork rsh clients (512 daemons in the paper).
+* :func:`~repro.tbon.startup.launchmon_startup` -- back ends come up through
+  LaunchMON's RM-based spawn; topology rides the LMONP handshake as
+  piggybacked user data; only the tree edges remain to connect.
+"""
+
+from repro.tbon.topology import TBONTopology, TopologyError
+from repro.tbon.filters import FILTER_REGISTRY, register_filter, get_filter
+from repro.tbon.packets import Packet
+from repro.tbon.overlay import Overlay, OverlayEndpoint
+from repro.tbon.startup import (
+    StartupFailure,
+    StartupReport,
+    launchmon_startup,
+    native_startup,
+)
+
+__all__ = [
+    "FILTER_REGISTRY",
+    "Overlay",
+    "OverlayEndpoint",
+    "Packet",
+    "StartupFailure",
+    "StartupReport",
+    "TBONTopology",
+    "TopologyError",
+    "get_filter",
+    "launchmon_startup",
+    "native_startup",
+    "register_filter",
+]

@@ -1,0 +1,57 @@
+"""TBON reduction filters.
+
+A filter reduces the payloads of one wave's child packets (plus the local
+contribution, if any) into a single upstream payload. Filters are
+registered by name so topologies/streams can reference them portably --
+mirroring MRNet's filter-id mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+__all__ = ["FILTER_REGISTRY", "get_filter", "register_filter"]
+
+FilterFn = Callable[[Sequence[Any]], Any]
+
+FILTER_REGISTRY: dict[str, FilterFn] = {}
+
+
+def register_filter(name: str, fn: FilterFn) -> None:
+    """Register (or replace) a named reduction filter."""
+    FILTER_REGISTRY[name] = fn
+
+
+def get_filter(name: str) -> FilterFn:
+    try:
+        return FILTER_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown TBON filter {name!r}; registered: "
+                       f"{sorted(FILTER_REGISTRY)}") from None
+
+
+# -- built-in filters ---------------------------------------------------------
+
+def _concat(payloads: Sequence[Any]) -> Any:
+    """Waitforall concatenation: list of all child payloads (no reduction)."""
+    out: list = []
+    for p in payloads:
+        if isinstance(p, list):
+            out.extend(p)
+        else:
+            out.append(p)
+    return out
+
+
+def _sum(payloads: Sequence[Any]) -> Any:
+    return sum(payloads)
+
+
+def _max(payloads: Sequence[Any]) -> Any:
+    return max(payloads)
+
+
+register_filter("concat", _concat)
+register_filter("sum", _sum)
+register_filter("max", _max)
+# "prefix_tree_merge" is registered by repro.tools.stat_tool.prefix_tree

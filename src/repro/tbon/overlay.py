@@ -1,0 +1,184 @@
+"""The live overlay: per-position endpoints, routing, filtered reduction.
+
+Structure: every position owns one upstream inbox (a Store its children
+send into through latency-modelled channels) and one downstream channel per
+child. Internal positions run a router process that
+
+* collects one packet per child (+ its own contribution slot) for each
+  ``(stream, wave)``, applies the stream's filter, and forwards the merged
+  packet upward;
+* fans every downstream packet out to all children.
+
+The root's merged packets land in a delivery store the front-end endpoint
+reads. All payloads are JSON-able; sizes drive simulated transfer times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.simx import Channel, Simulator, Store
+from repro.cluster import Node
+from repro.cluster.network import Network
+from repro.tbon.filters import get_filter
+from repro.tbon.packets import Packet
+from repro.tbon.topology import TBONTopology
+
+__all__ = ["Overlay", "OverlayEndpoint", "StreamSpec"]
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One logical stream: id + the filter applied at internal positions."""
+
+    stream_id: int
+    filter_name: str = "concat"
+
+
+class OverlayEndpoint:
+    """One position's handle on the overlay."""
+
+    def __init__(self, overlay: "Overlay", position: int):
+        self.overlay = overlay
+        self.position = position
+
+    # -- leaf/BE operations ------------------------------------------------
+    def send_wave(self, stream_id: int, wave: int, payload: Any,
+                  ) -> Generator[Any, Any, None]:
+        """Contribute this leaf's payload for one reduction wave."""
+        pkt = Packet(stream_id, wave, payload, "up")
+        yield self.overlay._up_channel(self.position).send(
+            (self.position, pkt))
+
+    def recv_broadcast(self) -> Generator[Any, Any, Packet]:
+        """Wait for the next downstream packet at this position."""
+        pkt = yield self.overlay._down_store(self.position).get()
+        return pkt
+
+    # -- root/FE operations ---------------------------------------------------
+    def broadcast(self, stream_id: int, wave: int, payload: Any,
+                  ) -> Generator[Any, Any, None]:
+        """Root: push a packet down the whole tree."""
+        if self.position != 0:
+            raise RuntimeError("broadcast only at the root position")
+        pkt = Packet(stream_id, wave, payload, "down")
+        yield from self.overlay._fan_down(0, pkt)
+
+    def collect_wave(self) -> Generator[Any, Any, Packet]:
+        """Root: wait for the next fully reduced upstream packet."""
+        if self.position != 0:
+            raise RuntimeError("collect_wave only at the root position")
+        pkt = yield self.overlay.root_delivery.get()
+        return pkt
+
+
+class Overlay:
+    """A placed, connected TBON instance."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 topology: TBONTopology, placement: dict[int, Node],
+                 streams: dict[int, StreamSpec]):
+        self.sim = sim
+        self.network = network
+        self.topology = topology
+        self.placement = dict(placement)
+        self.streams = dict(streams)
+        self.root_delivery: Store = Store(sim)
+        self._up_channels: dict[int, Channel] = {}
+        self._down_stores: dict[int, Store] = {}
+        self._routers_started = False
+        #: diagnostics
+        self.packets_routed = 0
+
+    # -- plumbing ------------------------------------------------------------
+    def _up_channel(self, child_pos: int) -> Channel:
+        """The latency channel from ``child_pos`` up to its parent's inbox."""
+        parent = self.topology.parent[child_pos]
+        key = child_pos
+        if key not in self._up_channels:
+            self._up_channels[key] = Channel(
+                self.sim, lambda m: self.network.transfer_time(m),
+                name=f"up:{child_pos}->{parent}")
+        return self._up_channels[key]
+
+    def _down_store(self, pos: int) -> Store:
+        if pos not in self._down_stores:
+            self._down_stores[pos] = Store(self.sim)
+        return self._down_stores[pos]
+
+    def _fan_down(self, pos: int, pkt: Packet) -> Generator[Any, Any, None]:
+        for child in self.topology.children(pos):
+            delay = self.network.transfer_time(pkt)
+            yield self.sim.timeout(delay)
+            yield self._down_store(child).put(pkt)
+            self.packets_routed += 1
+
+    def endpoint(self, position: int) -> OverlayEndpoint:
+        return OverlayEndpoint(self, position)
+
+    # -- routers ---------------------------------------------------------------
+    def start_routers(self) -> None:
+        """Start one router process per internal position (root included)."""
+        if self._routers_started:
+            return
+        self._routers_started = True
+        for pos in range(self.topology.size):
+            if self.topology.children(pos):
+                self.sim.process(self._route_up(pos), name=f"tbon-router:{pos}")
+                if pos != 0:
+                    self.sim.process(self._route_down(pos),
+                                     name=f"tbon-fwd:{pos}")
+
+    def _inbox(self, pos: int) -> Store:
+        """The upstream inbox shared by all children of ``pos``."""
+        # one child's channel delivers into its own store; unify by draining
+        # each child channel into a per-position store via pump processes.
+        key = ("inbox", pos)
+        if not hasattr(self, "_inboxes"):
+            self._inboxes: dict[int, Store] = {}
+        if pos not in self._inboxes:
+            inbox = Store(self.sim)
+            self._inboxes[pos] = inbox
+            for child in self.topology.children(pos):
+                chan = self._up_channel(child)
+
+                def pump(chan=chan, inbox=inbox):
+                    while True:
+                        item = yield chan.recv()
+                        yield inbox.put(item)
+
+                self.sim.process(pump(), name=f"tbon-pump:{pos}")
+        return self._inboxes[pos]
+
+    def _route_up(self, pos: int):
+        """Collect per-(stream, wave) child contributions; filter; forward."""
+        children = self.topology.children(pos)
+        expected = len(children)
+        buffers: dict[tuple[int, int], list] = {}
+        inbox = self._inbox(pos)
+        while True:
+            sender, pkt = yield inbox.get()
+            self.packets_routed += 1
+            key = (pkt.stream_id, pkt.wave)
+            buffers.setdefault(key, []).append(pkt.payload)
+            if len(buffers[key]) < expected:
+                continue
+            payloads = buffers.pop(key)
+            spec = self.streams.get(pkt.stream_id)
+            fn = get_filter(spec.filter_name if spec else "concat")
+            # per-payload merge processing at this position
+            yield self.sim.timeout(
+                self.network.costs.msg_overhead * max(1, len(payloads)))
+            merged = fn(payloads)
+            out = Packet(pkt.stream_id, pkt.wave, merged, "up")
+            if pos == 0:
+                yield self.root_delivery.put(out)
+            else:
+                yield self._up_channel(pos).send((pos, out))
+
+    def _route_down(self, pos: int):
+        """Forward downstream packets from the parent to all children."""
+        while True:
+            pkt = yield self._down_store(pos).get()
+            yield from self._fan_down(pos, pkt)

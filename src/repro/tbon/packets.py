@@ -1,0 +1,29 @@
+"""TBON packets and streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cluster.network import message_size
+
+__all__ = ["Packet"]
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One TBON protocol unit.
+
+    ``stream_id`` selects the stream (and thus the filter applied at
+    internal positions); ``wave`` sequences upstream reductions so that an
+    internal node knows which child contributions belong together;
+    ``payload`` must be JSON-able (prefix trees ship as dicts).
+    """
+
+    stream_id: int
+    wave: int
+    payload: Any
+    direction: str = "up"  # "up" | "down"
+
+    def wire_size(self) -> int:
+        return 24 + message_size(self.payload)

@@ -1,0 +1,270 @@
+"""TBON startup paths: ad-hoc rsh vs LaunchMON (the Figure 6 comparison).
+
+``native_startup`` is MRNet's classic mechanism: the front end forks one
+rsh client per daemon *sequentially* and keeps each client alive to carry
+the daemon's stdio; daemons learn the topology from a single shared file.
+Cost is linear in daemon count with the rsh-connection slope, and the whole
+scheme dies with :class:`StartupFailure` once the front end's process table
+fills -- the paper observed consistent fork failure at 512 daemons.
+
+``launchmon_startup`` brings the back ends up through LaunchMON
+(``attachAndSpawn``), piggybacks the topology on the LMONP handshake, and
+distributes placement with one LMONP broadcast; only the tree-edge connects
+and the TBON's own per-backend stream handshake remain.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from repro.be import BackEnd
+from repro.cluster import Cluster, ForkError, Node, RemoteExecError
+from repro.cluster.network import message_size
+from repro.rm.base import DaemonSpec, RMJob
+from repro.tbon.overlay import Overlay, StreamSpec
+from repro.tbon.topology import TBONTopology
+
+__all__ = ["StartupFailure", "StartupReport", "launchmon_startup",
+           "native_startup", "MRNET_PER_BE_HANDSHAKE"]
+
+#: per-backend stream/port setup cost at the front end (calibrated against
+#: the paper's 0.77 s MRNet handshake at 256 back ends)
+MRNET_PER_BE_HANDSHAKE = 0.003
+
+
+class StartupFailure(RuntimeError):
+    """The startup mechanism collapsed (e.g. fork failure at scale)."""
+
+    def __init__(self, message: str, spawned: int = 0):
+        super().__init__(message)
+        self.spawned = spawned
+
+
+@dataclass
+class StartupReport:
+    """Timing decomposition of one TBON startup."""
+
+    mechanism: str
+    n_daemons: int
+    t_spawn: float = 0.0
+    t_topo_dist: float = 0.0
+    t_connect: float = 0.0
+    t_handshake: float = 0.0
+    total: float = 0.0
+    fe_procs_peak: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "mechanism": self.mechanism, "n_daemons": self.n_daemons,
+            "t_spawn": self.t_spawn, "t_topo_dist": self.t_topo_dist,
+            "t_connect": self.t_connect, "t_handshake": self.t_handshake,
+            "total": self.total, "fe_procs_peak": self.fe_procs_peak,
+        }
+
+
+def _build_overlay(cluster: Cluster, topology: TBONTopology,
+                   placement: dict[int, Node],
+                   stream_filter: str) -> Overlay:
+    overlay = Overlay(cluster.sim, cluster.network, topology, placement,
+                      streams={1: StreamSpec(1, stream_filter)})
+    overlay.start_routers()
+    return overlay
+
+
+# ---------------------------------------------------------------------------
+# Ad-hoc (MRNet-native) startup
+# ---------------------------------------------------------------------------
+
+def native_startup(cluster: Cluster, backend_nodes: list[Node],
+                   daemon_executable: str = "mrnet_commnode",
+                   image_mb: float = 18.0,
+                   topology: Optional[TBONTopology] = None,
+                   comm_nodes: Optional[list[Node]] = None,
+                   stream_filter: str = "concat",
+                   per_be_handshake: float = MRNET_PER_BE_HANDSHAKE,
+                   ) -> Generator[Any, Any, tuple[Overlay, StartupReport]]:
+    """Launch and connect a TBON the ad-hoc way (sequential rsh).
+
+    Raises :class:`StartupFailure` if the front end can no longer fork rsh
+    clients -- the paper's observed failure mode at 512 daemons.
+    """
+    sim = cluster.sim
+    fe = cluster.front_end
+    topo = topology or TBONTopology.one_deep(len(backend_nodes))
+    report = StartupReport("mrnet-rsh", n_daemons=topo.size - 1)
+    t0 = sim.now
+
+    # placement: comm positions from the comm pool, BEs in node order
+    placement: dict[int, Node] = {0: fe}
+    comm_pool = list(comm_nodes or [])
+    be_iter = iter(backend_nodes)
+    for pos in range(1, topo.size):
+        if topo.kind[pos] == "comm":
+            if not comm_pool:
+                raise StartupFailure("no nodes available for comm daemons")
+            placement[pos] = comm_pool.pop(0)
+        else:
+            placement[pos] = next(be_iter)
+
+    # topology distributed through one shared file: write once...
+    topo_bytes = json.dumps(topo.to_jsonable()).encode()
+    yield from cluster.fs.load_image(len(topo_bytes) / (1024 * 1024))
+    report.t_topo_dist = sim.now - t0
+
+    # ...then sequential rsh spawn of every daemon (clients held open)
+    t_spawn0 = sim.now
+    spawned = 0
+    for pos in range(1, topo.size):
+        node = placement[pos]
+        try:
+            yield from fe.rsh_spawn(
+                node, daemon_executable, args=(f"pos={pos}",),
+                image_mb=image_mb, hold_client=True)
+        except (ForkError, RemoteExecError) as exc:
+            raise StartupFailure(
+                f"ad-hoc startup failed after {spawned} daemons: {exc}",
+                spawned=spawned) from exc
+        spawned += 1
+        # every daemon reads the topology file (shared-file contention)
+        yield from cluster.fs.load_image(len(topo_bytes) / (1024 * 1024))
+    report.t_spawn = sim.now - t_spawn0
+    report.fe_procs_peak = fe.max_uid_procs_seen
+
+    # daemons connect to their parents (parallel) and FE handshakes streams
+    t_conn0 = sim.now
+
+    def connect_one(pos: int):
+        parent = topo.parent[pos]
+        yield from cluster.network.connect(placement[pos],
+                                           placement[parent])
+
+    procs = [sim.process(connect_one(pos), name=f"tbon-conn:{pos}")
+             for pos in range(1, topo.size)]
+    yield sim.all_of(procs)
+    report.t_connect = sim.now - t_conn0
+
+    t_hs0 = sim.now
+    n_be = len(topo.backends())
+    yield sim.timeout(per_be_handshake * n_be)
+    report.t_handshake = sim.now - t_hs0
+
+    overlay = _build_overlay(cluster, topo, placement, stream_filter)
+    report.total = sim.now - t0
+    return overlay, report
+
+
+# ---------------------------------------------------------------------------
+# LaunchMON startup
+# ---------------------------------------------------------------------------
+
+def launchmon_startup(fe_api, session, job: RMJob,
+                      topology: Optional[TBONTopology] = None,
+                      daemon_executable: str = "stat_be",
+                      image_mb: float = 18.0,
+                      stream_filter: str = "concat",
+                      per_be_handshake: float = MRNET_PER_BE_HANDSHAKE,
+                      daemon_body: Optional[Callable] = None,
+                      ) -> Generator[Any, Any, tuple[Overlay, StartupReport]]:
+    """Launch and connect a TBON through LaunchMON (attachAndSpawn path).
+
+    ``fe_api`` is a :class:`repro.fe.ToolFrontEnd`; ``session`` a fresh
+    session. The topology rides the LMONP handshake as piggybacked user
+    data; daemon placement is distributed with one LMONP message + ICCL
+    broadcast. ``daemon_body(be, ctx, endpoint)`` runs in every daemon after
+    the overlay is connected (this is where a tool like STAT does its work).
+    """
+    cluster = fe_api.cluster
+    sim = cluster.sim
+    report = StartupReport("launchmon", n_daemons=0)
+    t0 = sim.now
+
+    hosts: dict[str, None] = {}
+    for t in job.tasks:
+        hosts.setdefault(t.host)
+    n_be = len(hosts)
+    topo = topology or TBONTopology.one_deep(n_be)
+    if len(topo.backends()) != n_be:
+        raise StartupFailure(
+            f"topology has {len(topo.backends())} BE slots for {n_be} nodes")
+    report.n_daemons = topo.size - 1
+
+    shared: dict[str, Any] = {}
+
+    def overlay_daemon(ctx):
+        be = BackEnd(ctx)
+        yield from be.init()
+        yield from be.ready()
+        # master receives placement over LMONP, ICCL-broadcasts it
+        if be.am_i_master():
+            info = yield from be.recv_usrdata()
+        else:
+            info = None
+        info = yield from be.broadcast(info)
+        topo_l = TBONTopology.from_jsonable(ctx.usr_data_init["topology"])
+        placement_names = {int(k): v for k, v in info["placement"].items()}
+        my_pos = topo_l.backends()[ctx.rank]
+        parent_pos = topo_l.parent[my_pos]
+        parent_node = cluster.node(placement_names[parent_pos])
+        yield from cluster.network.connect(ctx.node, parent_node)
+        done = yield from be.gather("connected")
+        if be.am_i_master():
+            yield from be.send_usrdata({"connected": len(done)})
+        if daemon_body is not None:
+            endpoint = shared["overlay"].endpoint(my_pos)
+            yield from daemon_body(be, ctx, endpoint)
+        yield from be.finalize()
+
+    spec = DaemonSpec(daemon_executable, main=overlay_daemon,
+                      image_mb=image_mb)
+    t_spawn0 = sim.now
+    yield from fe_api.attach_and_spawn(
+        session, job, spec,
+        usr_data={"topology": topo.to_jsonable()})
+    report.t_spawn = sim.now - t_spawn0
+
+    # build placement: BE position i <-> i-th host in RPDTAB order; comm
+    # positions would come from MW daemons (launch_mw_daemons) -- the
+    # experiments use the paper's 1-deep topology (no comm daemons).
+    placement: dict[int, Node] = {0: cluster.front_end}
+    comm_positions = topo.comm_positions()
+    if comm_positions:
+        mw_spec = DaemonSpec("mrnet_commnode", main=_idle_mw_daemon,
+                             image_mb=image_mb)
+        yield from fe_api.launch_mw_daemons(
+            session, mw_spec, n_nodes=len(comm_positions))
+        for pos, d in zip(comm_positions, session.mw_daemons):
+            placement[pos] = d.node
+    for pos, host in zip(topo.backends(), session.rpdtab.hosts):
+        placement[pos] = cluster.node(host)
+
+    overlay = _build_overlay(cluster, topo, placement, stream_filter)
+    shared["overlay"] = overlay
+
+    # distribute placement over LMONP; daemons connect; master confirms
+    t_conn0 = sim.now
+    yield from fe_api.send_usrdata_be(session, {
+        "placement": {str(p): n.name for p, n in placement.items()}})
+    ack = yield from fe_api.recv_usrdata_be(session)
+    if ack.get("connected") != n_be:
+        raise StartupFailure(
+            f"only {ack.get('connected')} of {n_be} daemons connected")
+    report.t_connect = sim.now - t_conn0
+
+    t_hs0 = sim.now
+    yield sim.timeout(per_be_handshake * n_be)
+    report.t_handshake = sim.now - t_hs0
+
+    report.fe_procs_peak = cluster.front_end.max_uid_procs_seen
+    report.total = sim.now - t0
+    return overlay, report
+
+
+def _idle_mw_daemon(ctx):
+    """Comm-node daemon body: init, ready, serve (routing is overlay-level)."""
+    from repro.mw import Middleware
+
+    mw = Middleware(ctx)
+    yield from mw.init()
+    yield from mw.ready()

@@ -1,0 +1,111 @@
+"""TBON tree topologies over *positions* (root=FE, internals, leaves=BEs).
+
+A topology is pure structure; placement onto cluster nodes happens at
+startup. Position 0 is always the front end. The paper's Figure 6 uses the
+``1-deep`` (flat) shape: every back end is a direct child of the front end,
+with no communication daemons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["TBONTopology", "TopologyError"]
+
+
+class TopologyError(ValueError):
+    """Malformed topology request or structure."""
+
+
+@dataclass(frozen=True)
+class TBONTopology:
+    """A rooted tree: ``parent[p]`` is None only for the root (position 0).
+
+    ``kind[p]`` is one of ``"fe"``, ``"comm"``, ``"be"``. Leaves must all be
+    back ends and internal positions must be fe/comm.
+    """
+
+    parent: tuple[Optional[int], ...]
+    kind: tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.parent or self.parent[0] is not None:
+            raise TopologyError("position 0 must be the parentless root")
+        if self.kind[0] != "fe":
+            raise TopologyError("position 0 must be the front end")
+        n = len(self.parent)
+        if len(self.kind) != n:
+            raise TopologyError("parent/kind length mismatch")
+        for p in range(1, n):
+            par = self.parent[p]
+            if par is None or not 0 <= par < n or par == p:
+                raise TopologyError(f"bad parent for position {p}: {par}")
+        for p in range(n):
+            is_leaf = not self.children(p)
+            if is_leaf and p != 0 and self.kind[p] != "be":
+                raise TopologyError(f"leaf position {p} is {self.kind[p]}")
+            if not is_leaf and self.kind[p] == "be":
+                raise TopologyError(f"internal position {p} is a back end")
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.parent)
+
+    def children(self, p: int) -> list[int]:
+        return [q for q in range(self.size) if self.parent[q] == p]
+
+    def backends(self) -> list[int]:
+        return [p for p in range(self.size) if self.kind[p] == "be"]
+
+    def comm_positions(self) -> list[int]:
+        return [p for p in range(self.size) if self.kind[p] == "comm"]
+
+    def depth(self) -> int:
+        best = 0
+        for p in range(self.size):
+            d, q = 0, self.parent[p]
+            while q is not None:
+                d += 1
+                q = self.parent[q]
+            best = max(best, d)
+        return best
+
+    def to_jsonable(self) -> dict:
+        """Wire form for LMONP piggybacking / topology files."""
+        return {"parent": [(-1 if p is None else p) for p in self.parent],
+                "kind": list(self.kind)}
+
+    @classmethod
+    def from_jsonable(cls, obj: dict) -> "TBONTopology":
+        parent = tuple(None if p == -1 else p for p in obj["parent"])
+        return cls(parent, tuple(obj["kind"]))
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def one_deep(cls, n_backends: int) -> "TBONTopology":
+        """The paper's 1-deep shape: FE -> all back ends directly."""
+        if n_backends < 1:
+            raise TopologyError("need at least one back end")
+        parent = (None,) + (0,) * n_backends
+        kind = ("fe",) + ("be",) * n_backends
+        return cls(parent, kind)
+
+    @classmethod
+    def balanced(cls, n_backends: int, fanout: int) -> "TBONTopology":
+        """FE -> one layer of comm daemons -> back ends, fanout-limited."""
+        if n_backends < 1 or fanout < 2:
+            raise TopologyError("invalid balanced topology parameters")
+        n_comm = -(-n_backends // fanout)
+        if n_comm <= 1:
+            return cls.one_deep(n_backends)
+        parent: list[Optional[int]] = [None]
+        kind = ["fe"]
+        for _ in range(n_comm):
+            parent.append(0)
+            kind.append("comm")
+        for b in range(n_backends):
+            parent.append(1 + b % n_comm)
+            kind.append("be")
+        return cls(tuple(parent), tuple(kind))

@@ -1,0 +1,11 @@
+"""repro.tools -- the paper's three case-study tools built on LaunchMON.
+
+* :mod:`repro.tools.jobsnap` -- Jobsnap (Section 5.1): the first portable,
+  scalable collector of per-task /proc state, written new on LaunchMON.
+* :mod:`repro.tools.stat_tool` -- STAT (Section 5.2): stack-trace analysis
+  over a TBON, with both the MRNet-native and LaunchMON startups.
+* :mod:`repro.tools.oss` -- Open|SpeedShop (Section 5.3): replacing DPCL's
+  persistent root daemons with LaunchMON-based APAI acquisition.
+"""
+
+__all__ = ["jobsnap", "stat_tool", "oss"]

@@ -1,0 +1,116 @@
+"""The Jobsnap front end and back end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.be import BackEnd
+from repro.cluster import Cluster
+from repro.cluster.procfs import (
+    SNAPSHOT_HEADER,
+    ProcSnapshot,
+    format_snapshot_line,
+    read_snapshot,
+)
+from repro.fe import ToolFrontEnd
+from repro.rm.base import DaemonSpec, ResourceManager, RMJob
+
+__all__ = ["JobsnapReport", "JobsnapResult", "run_jobsnap"]
+
+#: Jobsnap's back end is deliberately lightweight (~500 lines in the paper)
+JOBSNAP_BE_IMAGE_MB = 0.5
+
+
+@dataclass
+class JobsnapReport:
+    """The merged snapshot: one record per task, rank order."""
+
+    snapshots: list[ProcSnapshot] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        lines = [SNAPSHOT_HEADER]
+        lines += [format_snapshot_line(s) for s in self.snapshots]
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+
+@dataclass
+class JobsnapResult:
+    """Report plus the timing split Figure 5 plots."""
+
+    report: JobsnapReport
+    #: init -> attachAndSpawn return (the LaunchMON share in Figure 5)
+    t_launchmon: float = 0.0
+    #: complete tool run (jobsnap performance in Figure 5)
+    t_total: float = 0.0
+    n_daemons: int = 0
+    n_tasks: int = 0
+    component_times: Optional[dict] = None
+
+
+def be_jobsnap(ctx) -> Generator[Any, Any, None]:
+    """The Jobsnap daemon body (Figure 4, right column)."""
+    be = BackEnd(ctx)
+    yield from be.init()           # LMON_be_init + handshake
+    yield from be.ready()          # ...ready
+
+    # step 2: collect one /proc snapshot per local task
+    records: list[tuple] = []
+    for entry in be.get_my_proctab():
+        proc = ctx.node.procs.get(entry.pid)
+        if proc is None:  # task died since the RPDTAB was cut
+            continue
+        snap = yield from read_snapshot(proc, rank=entry.rank)
+        records.append(snap.to_tuple())
+
+    # step 3: master gathers all records over ICCL
+    gathered = yield from be.gather(records)
+
+    if be.am_i_master():
+        # step 4: merge, one line per task, then signal work-done
+        merged = sorted((tuple(r) for chunk in gathered for r in chunk),
+                        key=lambda r: r[0])
+        # master-side merge/format cost: ~2us per line
+        yield ctx.sim.timeout(2e-6 * max(1, len(merged)))
+        yield from be.send_usrdata({"records": [list(r) for r in merged],
+                                    "work": "done"})
+    yield from be.finalize()
+
+
+def fe_jobsnap(fe: ToolFrontEnd, job: RMJob,
+               ) -> Generator[Any, Any, JobsnapResult]:
+    """The Jobsnap front end body (Figure 4, left column)."""
+    sim = fe.sim
+    t0 = sim.now
+    yield from fe.init()                      # LMON_fe_init
+    session = fe.create_session()             # ...createFEBESession
+    spec = DaemonSpec("jobsnap_be", main=be_jobsnap,
+                      image_mb=JOBSNAP_BE_IMAGE_MB)
+    yield from fe.attach_and_spawn(session, job, spec)
+    t_launchmon = sim.now - t0
+
+    # block until the master's work-done message
+    data = yield from fe.recv_usrdata_be(session)
+    assert data.get("work") == "done"
+    report = JobsnapReport(
+        [ProcSnapshot(*row) for row in data["records"]])
+    yield from fe.detach(session)
+    return JobsnapResult(
+        report=report,
+        t_launchmon=t_launchmon,
+        t_total=sim.now - t0,
+        n_daemons=session.n_daemons,
+        n_tasks=len(session.rpdtab),
+        component_times=session.times.as_dict(),
+    )
+
+
+def run_jobsnap(cluster: Cluster, rm: ResourceManager, job: RMJob,
+                ) -> Generator[Any, Any, JobsnapResult]:
+    """Convenience: build the front end and snapshot a running job."""
+    fe = ToolFrontEnd(cluster, rm, "jobsnap")
+    result = yield from fe_jobsnap(fe, job)
+    return result

@@ -1,0 +1,158 @@
+"""The STAT tool: sampling daemons, TBON reduction, equivalence classes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.cluster import Cluster
+from repro.fe import ToolFrontEnd
+from repro.mpir import RPDTAB
+from repro.rm.base import ResourceManager, RMJob
+from repro.tbon import (
+    StartupFailure,
+    StartupReport,
+    TBONTopology,
+    launchmon_startup,
+    native_startup,
+)
+from repro.tools.stat_tool.prefix_tree import PrefixTree
+
+__all__ = ["StatResult", "run_stat_launchmon", "run_stat_mrnet_native"]
+
+#: STAT daemon + MRNet library package: a heavyweight image whose
+#: shared-filesystem distribution dominates large launches
+STAT_IMAGE_MB = 15.0
+
+#: per-frame sampling cost (stack walk of one frame via the debugger iface)
+SAMPLE_PER_FRAME = 0.00012
+
+#: fixed STAT front-end bootstrap: loading the MRNet/STAT front-end
+#: libraries and building the tree specification before any launch
+STAT_FE_INIT = 0.3
+
+
+@dataclass
+class StatResult:
+    """Merged tree + equivalence classes + startup timing."""
+
+    tree: PrefixTree
+    classes: list[tuple[tuple[str, ...], frozenset]] = field(
+        default_factory=list)
+    startup: Optional[StartupReport] = None
+    t_total: float = 0.0
+    n_tasks: int = 0
+
+
+def _sample_local_tasks(ctx, entries) -> Generator[Any, Any, PrefixTree]:
+    """Walk each local task's stack and build the local prefix tree."""
+    tree = PrefixTree()
+    for entry in entries:
+        proc = ctx.node.procs.get(entry.pid)
+        if proc is None:
+            continue
+        stack = list(proc.call_stack)
+        yield ctx.sim.timeout(SAMPLE_PER_FRAME * max(1, len(stack)))
+        tree.insert(stack, entry.rank)
+    return tree
+
+
+def run_stat_launchmon(cluster: Cluster, rm: ResourceManager, job: RMJob,
+                       topology: Optional[TBONTopology] = None,
+                       ) -> Generator[Any, Any, StatResult]:
+    """STAT with LaunchMON startup (Figure 6's fast curve).
+
+    LaunchMON identifies the application tasks through the RM's RPDTAB,
+    co-locates the stack-sampling daemons, and broadcasts the MRNet tree
+    info over LMONP instead of command lines or a shared file.
+    """
+    sim = cluster.sim
+    t0 = sim.now
+    fe = ToolFrontEnd(cluster, rm, "STAT")
+    yield sim.timeout(STAT_FE_INIT)
+    yield from fe.init()
+    session = fe.create_session()
+
+    def stat_daemon_body(be, ctx, endpoint):
+        tree = yield from _sample_local_tasks(ctx, be.get_my_proctab())
+        yield from endpoint.send_wave(stream_id=1, wave=0,
+                                      payload=tree.to_dict())
+
+    overlay, report = yield from launchmon_startup(
+        fe, session, job, topology=topology,
+        daemon_executable="stat_be", image_mb=STAT_IMAGE_MB,
+        stream_filter="prefix_tree_merge",
+        daemon_body=stat_daemon_body)
+    # the FE bootstrap is on this path's critical path (in the native path
+    # it overlaps the long sequential spawn loop)
+    report.total += STAT_FE_INIT
+
+    root = overlay.endpoint(0)
+    pkt = yield from root.collect_wave()
+    tree = PrefixTree.from_dict(pkt.payload)
+    yield from fe.detach(session)
+    return StatResult(
+        tree=tree,
+        classes=tree.equivalence_classes(),
+        startup=report,
+        t_total=sim.now - t0,
+        n_tasks=len(session.rpdtab),
+    )
+
+
+def run_stat_mrnet_native(cluster: Cluster, rm: ResourceManager, job: RMJob,
+                          topology: Optional[TBONTopology] = None,
+                          ) -> Generator[Any, Any, StatResult]:
+    """STAT with MRNet's native startup (Figure 6's ad-hoc curve).
+
+    The user manually identifies the application partition; the front end
+    rsh-es every daemon sequentially; the topology travels through a shared
+    file. Raises :class:`~repro.tbon.StartupFailure` when the front end can
+    no longer fork rsh clients.
+    """
+    sim = cluster.sim
+    t0 = sim.now
+
+    # manual partition identification: read the job's node list by hand
+    hosts: dict[str, None] = {}
+    for t in job.tasks:
+        hosts.setdefault(t.host)
+    backend_nodes = [cluster.node(h) for h in hosts]
+
+    overlay, report = yield from native_startup(
+        cluster, backend_nodes, daemon_executable="stat_be",
+        image_mb=STAT_IMAGE_MB, topology=topology,
+        stream_filter="prefix_tree_merge")
+
+    # without LaunchMON there is no RPDTAB service: daemons find local
+    # tasks by scanning the node process table for the app executable
+    app_exe = job.app.executable
+    topo = overlay.topology
+    # pids are only node-unique: key the rank map by (host, pid)
+    rank_of = {(t.host, t.pid): t.memory.get("_rank", -1)
+               for t in job.tasks}
+
+    def native_daemon_body(pos: int, node):
+        tree = PrefixTree()
+        local = node.processes_of(app_exe)
+        for proc in local:
+            stack = list(proc.call_stack)
+            yield sim.timeout(SAMPLE_PER_FRAME * max(1, len(stack)))
+            tree.insert(stack, rank_of.get((proc.host, proc.pid), -1))
+        ep = overlay.endpoint(pos)
+        yield from ep.send_wave(stream_id=1, wave=0, payload=tree.to_dict())
+
+    for pos in topo.backends():
+        sim.process(native_daemon_body(pos, overlay.placement[pos]),
+                    name=f"stat-native:{pos}")
+
+    root = overlay.endpoint(0)
+    pkt = yield from root.collect_wave()
+    tree = PrefixTree.from_dict(pkt.payload)
+    return StatResult(
+        tree=tree,
+        classes=tree.equivalence_classes(),
+        startup=report,
+        t_total=sim.now - t0,
+        n_tasks=len(job.tasks),
+    )

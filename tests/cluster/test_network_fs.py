@@ -1,0 +1,157 @@
+"""Tests for Network/Pipe timing and the shared-filesystem model."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, CostModel, Network, Node
+from repro.cluster.network import message_size
+from repro.cluster.cluster import SharedFilesystem
+from repro.simx import SeededRNG, Simulator
+from tests.conftest import run_gen
+
+
+class TestMessageSize:
+    def test_bytes(self):
+        assert message_size(b"12345") == 5
+
+    def test_str(self):
+        assert message_size("abc") == 3
+
+    def test_nested_list(self):
+        assert message_size([b"ab", b"cd"]) == 16 + 4
+
+    def test_wire_size_object(self):
+        class M:
+            def wire_size(self):
+                return 123
+        assert message_size(M()) == 123
+
+    def test_opaque_default(self):
+        assert message_size(object()) == 64
+
+
+class TestNetwork:
+    def test_connect_returns_duplex_pipe(self, sim, rng):
+        net = Network(sim, rng=rng)
+        a = Node(sim, "a")
+        b = Node(sim, "b")
+        pipe = run_gen(sim, net.connect(a, b))
+        log = []
+
+        def left(sim):
+            pipe.a.send(b"ping")
+            msg = yield pipe.a.recv()
+            log.append(("a-got", msg))
+
+        def right(sim):
+            msg = yield pipe.b.recv()
+            log.append(("b-got", msg))
+            pipe.b.send(b"pong")
+
+        sim.process(left(sim))
+        sim.process(right(sim))
+        sim.run()
+        assert ("b-got", b"ping") in log
+        assert ("a-got", b"pong") in log
+
+    def test_connect_costs_handshake(self, sim, rng):
+        costs = CostModel()
+        net = Network(sim, costs, rng)
+        a, b = Node(sim, "a"), Node(sim, "b")
+        run_gen(sim, net.connect(a, b))
+        assert sim.now >= 0.5 * costs.tcp_connect
+
+    def test_transfer_time_scales_with_size(self, sim, rng):
+        net = Network(sim, rng=rng)
+        small = net.transfer_time(b"x" * 10)
+        large = net.transfer_time(b"x" * 10_000_000)
+        assert large > small * 10
+
+    def test_larger_message_arrives_later(self, sim, rng):
+        net = Network(sim, rng=rng)
+        pipe = net.pipe("a", "b")
+        arrivals = {}
+
+        def sender(sim):
+            pipe.a.send(b"x" * 1_000_000)
+            yield sim.timeout(0)
+
+        def receiver(sim):
+            yield pipe.b.recv()
+            arrivals["t"] = sim.now
+
+        sim.process(sender(sim))
+        sim.process(receiver(sim))
+        sim.run()
+        assert arrivals["t"] >= 1_000_000 / CostModel().net_bandwidth * 0.9
+
+
+class TestSharedFilesystem:
+    def test_single_load_cost(self, sim, rng):
+        costs = CostModel()
+        fs = SharedFilesystem(sim, costs, rng)
+        run_gen(sim, fs.load_image(25.0))
+        expected = costs.fs_open + 25 * 1024 * 1024 / costs.fs_bandwidth
+        assert sim.now == pytest.approx(expected, rel=0.1)
+
+    def test_zero_image_is_free(self, sim, rng):
+        fs = SharedFilesystem(sim, CostModel(), rng)
+        run_gen(sim, fs.load_image(0.0))
+        assert sim.now == 0.0
+        assert fs.loads == 0
+
+    def test_concurrent_loads_serialize(self, sim, rng):
+        """This is the binary-loading-storm model: N loads ~ N x one load."""
+        costs = CostModel()
+        fs = SharedFilesystem(sim, costs, rng)
+        n = 8
+
+        def loader(sim):
+            yield from fs.load_image(25.0)
+
+        procs = [sim.process(loader(sim)) for _ in range(n)]
+        sim.run()
+        one = costs.fs_open + 25 * 1024 * 1024 / costs.fs_bandwidth
+        assert sim.now == pytest.approx(n * one, rel=0.15)
+        assert fs.loads == n
+
+    def test_multiple_servers_divide_time(self, sim, rng):
+        costs = CostModel()
+        fs = SharedFilesystem(sim, costs, rng, servers=4)
+        n = 8
+
+        def loader(sim):
+            yield from fs.load_image(25.0)
+
+        for _ in range(n):
+            sim.process(loader(sim))
+        sim.run()
+        one = costs.fs_open + 25 * 1024 * 1024 / costs.fs_bandwidth
+        assert sim.now == pytest.approx(n * one / 4, rel=0.2)
+
+
+class TestClusterAssembly:
+    def test_spec_shapes_cluster(self, sim):
+        c = Cluster(sim, ClusterSpec(n_compute=12, fe_name="head"))
+        assert len(c.compute) == 12
+        assert c.front_end.name == "head"
+        assert len(c.nodes) == 13
+
+    def test_node_lookup(self, sim):
+        c = Cluster(sim, ClusterSpec(n_compute=4))
+        n = c.compute[2]
+        assert c.node(n.name) is n
+        assert c.node(c.front_end.name) is c.front_end
+
+    def test_unknown_node_raises(self, sim):
+        c = Cluster(sim, ClusterSpec(n_compute=2))
+        with pytest.raises(KeyError):
+            c.node("nope")
+
+    def test_mpp_spec_disables_compute_rshd(self, sim):
+        c = Cluster(sim, ClusterSpec(n_compute=4, compute_rshd=False))
+        assert all(not n.rshd_enabled for n in c.compute)
+        assert c.front_end.rshd_enabled
+
+    def test_fe_proc_limit_from_spec(self, sim):
+        c = Cluster(sim, ClusterSpec(n_compute=2, fe_max_user_procs=7))
+        assert c.front_end.max_user_procs == 7

@@ -1,0 +1,81 @@
+"""Tests for the simulated /proc reading path."""
+
+import pytest
+
+from repro.cluster import Node
+from repro.cluster.procfs import (
+    SNAPSHOT_HEADER,
+    ProcSnapshot,
+    format_snapshot_line,
+    read_snapshot,
+)
+from repro.cluster.process import ProcState
+from tests.conftest import run_gen
+
+
+@pytest.fixture
+def task(sim):
+    node = Node(sim, "c0")
+    proc = run_gen(sim, node.fork_exec("app"))
+    proc.stats.utime = 12.5
+    proc.stats.stime = 0.75
+    proc.stats.vm_hwm_kb = 200_000
+    proc.stats.vm_rss_kb = 150_000
+    proc.stats.vm_lck_kb = 4096
+    proc.stats.maj_flt = 42
+    proc.stats.num_threads = 3
+    proc.stats.program_counter = 0x400abc
+    return proc
+
+
+class TestReadSnapshot:
+    def test_fields_roundtrip(self, sim, task):
+        snap = run_gen(sim, read_snapshot(task, rank=7))
+        assert snap.rank == 7
+        assert snap.hostname == "c0"
+        assert snap.pid == task.pid
+        assert snap.executable == "app"
+        assert snap.state == "R"
+        assert snap.utime == 12.5
+        assert snap.stime == 0.75
+        assert snap.vm_hwm_kb == 200_000
+        assert snap.vm_lck_kb == 4096
+        assert snap.maj_flt == 42
+        assert snap.num_threads == 3
+
+    def test_read_costs_time(self, sim, task):
+        t0 = sim.now
+        run_gen(sim, read_snapshot(task, rank=0))
+        assert sim.now > t0
+
+    def test_sleeping_state_letter(self, sim, task):
+        task.state = ProcState.SLEEPING
+        snap = run_gen(sim, read_snapshot(task, rank=0))
+        assert snap.state == "S"
+
+    def test_snapshot_is_frozen(self, sim, task):
+        snap = run_gen(sim, read_snapshot(task, rank=0))
+        with pytest.raises(Exception):
+            snap.rank = 99
+
+
+class TestFormatting:
+    def test_line_contains_key_fields(self, sim, task):
+        snap = run_gen(sim, read_snapshot(task, rank=3))
+        line = format_snapshot_line(snap)
+        assert " 3 " in f" {line} " or line.startswith("     3")
+        assert "c0" in line
+        assert "app" in line
+        assert f"{task.pid}" in line
+
+    def test_one_line_per_task(self, sim, task):
+        snap = run_gen(sim, read_snapshot(task, rank=0))
+        assert "\n" not in format_snapshot_line(snap)
+
+    def test_header_matches_columns(self):
+        assert "RANK" in SNAPSHOT_HEADER
+        assert "MAJFLT" in SNAPSHOT_HEADER
+
+    def test_to_tuple_width(self, sim, task):
+        snap = run_gen(sim, read_snapshot(task, rank=0))
+        assert len(snap.to_tuple()) == 13

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, CostModel
+from repro.runner import SimEnv, make_env
+from repro.simx import SeededRNG, Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> SeededRNG:
+    return SeededRNG(42)
+
+
+@pytest.fixture
+def small_cluster(sim) -> Cluster:
+    """A 8-compute-node cluster for unit tests."""
+    return Cluster(sim, ClusterSpec(n_compute=8, seed=3))
+
+
+@pytest.fixture
+def env() -> SimEnv:
+    """A ready 16-node SLURM environment."""
+    return make_env(n_compute=16)
+
+
+def run_gen(sim: Simulator, gen):
+    """Drive one generator to completion on a fresh or shared simulator."""
+    proc = sim.process(gen)
+    sim.run()
+    return proc.value

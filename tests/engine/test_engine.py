@@ -1,0 +1,213 @@
+"""Tests for the engine: decoder, handlers, timeline, error paths."""
+
+import pytest
+
+from repro.apps import make_compute_app
+from repro.be import BackEnd
+from repro.cluster.process import DebugEvent, DebugEventType
+from repro.engine import (
+    ComponentTimes,
+    EventDecoder,
+    EventHandlerTable,
+    LaunchTimeline,
+    LMONEventType,
+    LaunchMONEngine,
+    EngineError,
+)
+from repro.fe import ToolFrontEnd
+from repro.rm import DaemonSpec, JobState, RshRM, UnsupportedOperation
+from repro.runner import drive, make_env
+from repro.simx import Simulator
+
+
+class TestEventDecoder:
+    def setup_method(self):
+        self.dec = EventDecoder()
+
+    def test_mpir_breakpoint_is_tasks_spawned(self):
+        ev = DebugEvent(DebugEventType.BREAKPOINT, 1, "MPIR_Breakpoint")
+        assert self.dec.decode(ev).etype is LMONEventType.TASKS_SPAWNED
+
+    def test_other_breakpoint_unknown(self):
+        ev = DebugEvent(DebugEventType.BREAKPOINT, 1, "user_bp")
+        assert self.dec.decode(ev).etype is LMONEventType.UNKNOWN
+
+    def test_fork_exec_exit_mapping(self):
+        assert self.dec.decode(DebugEvent(DebugEventType.FORK, 1)).etype \
+            is LMONEventType.RM_HELPER_FORKED
+        assert self.dec.decode(DebugEvent(DebugEventType.EXEC, 1)).etype \
+            is LMONEventType.RM_EXEC
+        assert self.dec.decode(DebugEvent(DebugEventType.EXITED, 1)).etype \
+            is LMONEventType.RM_EXITED
+
+    def test_signal_is_abort(self):
+        ev = DebugEvent(DebugEventType.SIGNAL, 1, "SIGSEGV")
+        decoded = self.dec.decode(ev)
+        assert decoded.etype is LMONEventType.JOB_ABORTED
+        assert decoded.detail == "SIGSEGV"
+
+
+class TestHandlerTable:
+    def test_dispatch_charges_cost_and_counts(self, sim):
+        table = EventHandlerTable(sim, event_handle_cost=0.002)
+        from repro.engine.events import LMONEvent
+
+        def driver(sim):
+            yield from table.dispatch(
+                LMONEvent(LMONEventType.RM_HELPER_FORKED))
+            yield from table.dispatch(
+                LMONEvent(LMONEventType.RM_HELPER_FORKED))
+
+        sim.process(driver(sim))
+        sim.run()
+        assert table.dispatched == 2
+        assert table.trace_time == pytest.approx(0.004)
+
+    def test_handler_body_not_in_trace_time(self, sim):
+        table = EventHandlerTable(sim, event_handle_cost=0.001)
+        from repro.engine.events import LMONEvent
+
+        def slow_handler(event):
+            yield sim.timeout(1.0)
+            return "done"
+
+        table.register(LMONEventType.TASKS_SPAWNED, slow_handler)
+        out = {}
+
+        def driver(sim):
+            out["r"] = yield from table.dispatch(
+                LMONEvent(LMONEventType.TASKS_SPAWNED))
+
+        sim.process(driver(sim))
+        sim.run()
+        assert out["r"] == "done"
+        assert table.trace_time == pytest.approx(0.001)
+
+
+class TestTimeline:
+    def test_span_and_total(self):
+        tl = LaunchTimeline()
+        tl.mark("e0_client_call", 1.0)
+        tl.mark("e3_breakpoint", 3.5)
+        tl.mark("e11_returned", 5.0)
+        assert tl.span("e0_client_call", "e3_breakpoint") == 2.5
+        assert tl.total() == 4.0
+
+    def test_component_times_close_books(self):
+        ct = ComponentTimes(t_job=1.0, t_trace=0.1, total=1.5)
+        ct.close_books()
+        assert ct.t_other == pytest.approx(0.4)
+        assert ct.launchmon_time() == pytest.approx(0.5)
+        assert ct.launchmon_fraction() == pytest.approx(0.5 / 1.5)
+
+    def test_rm_vs_launchmon_split(self):
+        ct = ComponentTimes(t_job=1, t_daemon=2, t_setup=3, t_collective=4,
+                            t_trace=5, t_rpdtab=6, t_handshake=7, t_other=8)
+        assert ct.rm_time() == 10
+        assert ct.launchmon_time() == 26
+
+
+class TestEngineErrors:
+    def test_attach_to_unlaunched_job_rejected(self):
+        env = make_env(n_compute=2)
+        app = make_compute_app(n_tasks=8)
+
+        def scenario(env):
+            job = yield from env.rm.create_launcher(app, env.rm.allocate(1))
+            engine = LaunchMONEngine(env.cluster, env.rm)
+            spec = DaemonSpec("d", main=lambda ctx: iter(()))
+            try:
+                yield from engine.attach_and_spawn(job, spec, lambda *a: None)
+            except EngineError as exc:
+                return str(exc)
+
+        msg = drive(env, scenario(env))
+        assert "cannot attach" in msg
+
+    def test_rsh_rm_daemon_launch_unsupported(self):
+        """The portability argument: no native launch service -> no spawn."""
+        env = make_env(n_compute=2, rm_cls=RshRM)
+        app = make_compute_app(n_tasks=8)
+
+        def daemon(ctx):
+            yield ctx.sim.timeout(0)
+
+        def scenario(env):
+            job = yield from env.rm.launch_job(app, env.rm.allocate(1))
+            assert job.state is JobState.RUNNING
+            spec = DaemonSpec("d", main=daemon)
+            try:
+                yield from env.rm.spawn_daemons(job, spec, lambda *a: None)
+            except UnsupportedOperation as exc:
+                return str(exc)
+
+        msg = drive(env, scenario(env))
+        assert "no native tool-daemon launch service" in msg
+
+    def test_kill_job_terminates_everything(self):
+        env = make_env(n_compute=2)
+        app = make_compute_app(n_tasks=16, tasks_per_node=8)
+
+        def daemon(ctx):
+            be = BackEnd(ctx)
+            yield from be.init()
+            yield from be.ready()
+            yield from be.finalize()
+
+        box = {}
+
+        def scenario(env):
+            fe = ToolFrontEnd(env.cluster, env.rm, "t")
+            yield from fe.init()
+            s = fe.create_session()
+            yield from fe.launch_and_spawn(
+                s, app, DaemonSpec("d", main=daemon))
+            yield from fe.kill(s)
+            box["job"] = s.job
+
+        drive(env, scenario(env))
+        assert box["job"].state is JobState.FAILED
+        assert all(not t.alive for t in box["job"].tasks)
+        assert not box["job"].launcher.alive
+
+
+class TestBglPlatform:
+    def test_bgl_spawning_significantly_slower(self):
+        """Section 4: T(job)/T(daemon) much higher on BG/L's mpirun."""
+        from repro.experiments.fig3 import measure_launch_and_spawn
+        from repro import BglMpirunRM
+
+        atlas_times, _, _ = measure_launch_and_spawn(16)
+
+        env = make_env(n_compute=16, rm_cls=BglMpirunRM)
+        app = make_compute_app(n_tasks=128, tasks_per_node=8)
+
+        def daemon(ctx):
+            be = BackEnd(ctx)
+            yield from be.init()
+            yield from be.ready()
+            yield from be.finalize()
+
+        box = {}
+
+        def tool(env):
+            fe = ToolFrontEnd(env.cluster, env.rm, "bench")
+            yield from fe.init()
+            s = fe.create_session()
+            yield from fe.launch_and_spawn(
+                s, app, DaemonSpec("d", main=daemon, image_mb=1.0))
+            box["times"] = s.times
+            yield from fe.detach(s)
+
+        drive(env, tool(env))
+        bgl = box["times"]
+        assert bgl.t_job > 1.5 * atlas_times.t_job
+        assert bgl.t_daemon > 1.5 * atlas_times.t_daemon
+        # but LaunchMON's own overheads stay similar (the paper's finding)
+        assert bgl.t_trace == pytest.approx(atlas_times.t_trace, rel=0.3)
+        assert bgl.t_rpdtab == pytest.approx(atlas_times.t_rpdtab, rel=0.3)
+
+    def test_bgl_launcher_is_mpirun(self):
+        from repro import BglMpirunRM
+        env = make_env(n_compute=2, rm_cls=BglMpirunRM)
+        assert env.rm.launcher_executable() == "mpirun"

@@ -1,0 +1,162 @@
+"""Tests for the experiment runners: paper-shape assertions at small scale."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    run_ablation_iccl,
+    run_ablation_launchers,
+    run_ablation_rm_events,
+    run_fig3,
+    run_fig5,
+    run_fig6,
+    run_table1,
+)
+from repro.experiments.cli import main as cli_main
+
+
+class TestResultContainer:
+    def test_table_formatting(self):
+        r = ExperimentResult("x", "demo", ["a", "b"])
+        r.add_row(a=1, b=0.5)
+        r.add_row(a=2, b=None)
+        r.notes.append("a note")
+        text = r.format_table()
+        assert "x: demo" in text
+        assert "0.500" in text
+        assert "-" in text
+        assert "# a note" in text
+
+    def test_column_and_row_lookup(self):
+        r = ExperimentResult("x", "demo", ["a", "b"])
+        r.add_row(a=1, b=10)
+        r.add_row(a=2, b=20)
+        assert r.column("b") == [10, 20]
+        assert r.row_for("a", 2)["b"] == 20
+        assert r.row_for("a", 99) is None
+
+
+class TestFig3Shape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3(daemon_counts=(16, 48, 96))
+
+    def test_rows_and_columns(self, result):
+        assert [r["daemons"] for r in result.rows] == [16, 48, 96]
+        assert "model_total" in result.columns
+
+    def test_total_monotone_in_scale(self, result):
+        totals = result.column("measured_total")
+        assert totals == sorted(totals)
+
+    def test_model_tracks_measurement(self, result):
+        for row in result.rows:
+            assert row["model_total"] == pytest.approx(
+                row["measured_total"], rel=0.15)
+
+    def test_tracing_scale_independent(self, result):
+        traces = result.column("tracing")
+        assert max(traces) - min(traces) < 0.002
+
+    def test_launchmon_fraction_small_and_falling(self, result):
+        fracs = result.column("lmon_frac")
+        assert all(f < 0.2 for f in fracs)
+        assert fracs[-1] < fracs[0]
+
+    def test_rm_region_dominates(self, result):
+        for row in result.rows:
+            rm_share = (row["T(job)"] + row["T(daemon)+T(setup)"]
+                        + row["T(collective)"])
+            assert rm_share > 0.8 * row["measured_total"]
+
+
+class TestFig5Shape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5(daemon_counts=(64, 128, 256))
+
+    def test_one_line_per_task(self, result):
+        for row in result.rows:
+            assert row["lines"] == row["tasks"] == 8 * row["daemons"]
+
+    def test_launchmon_dominates(self, result):
+        for row in result.rows:
+            assert (row["init_to_attachAndSpawn"]
+                    / row["jobsnap_total"]) > 0.6
+
+    def test_subsecond_at_2048_tasks(self, result):
+        assert result.row_for("daemons", 256)["jobsnap_total"] < 1.0
+
+
+class TestFig6Shape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6(node_counts=(4, 32, 64))
+
+    def test_launchmon_always_wins(self, result):
+        for row in result.rows:
+            assert row["launchmon_1deep"] < row["mrnet_1deep"]
+
+    def test_speedup_grows_with_scale(self, result):
+        speedups = result.column("speedup")
+        assert speedups == sorted(speedups)
+
+    def test_mrnet_linear_slope_near_paper(self, result):
+        r4 = result.row_for("daemons", 4)
+        r64 = result.row_for("daemons", 64)
+        slope = (r64["mrnet_1deep"] - r4["mrnet_1deep"]) / 60
+        assert slope == pytest.approx(0.238, rel=0.15)  # paper's s/daemon
+
+
+class TestTable1Shape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1(node_counts=(2, 8))
+
+    def test_dpcl_around_34s(self, result):
+        assert all(d == pytest.approx(34.0, rel=0.1)
+                   for d in result.column("DPCL"))
+
+    def test_launchmon_subsecond(self, result):
+        assert all(l < 1.0 for l in result.column("LaunchMON"))
+
+    def test_improvement_order_of_magnitude(self, result):
+        assert all(i > 30 for i in result.column("improvement"))
+
+
+class TestAblations:
+    def test_rm_events_ablation(self):
+        r = run_ablation_rm_events(daemon_counts=(16, 32))
+        rows = {row["daemons"]: row for row in r.rows}
+        # fixed: flat; legacy: linear in tasks
+        assert rows[32]["fixed_trace"] == pytest.approx(
+            rows[16]["fixed_trace"], abs=0.002)
+        assert rows[32]["legacy_trace"] > 1.7 * rows[16]["legacy_trace"]
+        assert rows[32]["legacy_total"] > rows[32]["fixed_total"]
+
+    def test_iccl_ablation(self):
+        r = run_ablation_iccl(daemon_counts=(16, 64),
+                              topologies=("flat", "binomial"))
+        for row in r.rows:
+            assert row["flat"] > 0 and row["binomial"] > 0
+
+    def test_launchers_ablation(self):
+        r = run_ablation_launchers(daemon_counts=(16,))
+        row = r.rows[0]
+        assert row["rsh_sequential"] > row["rsh_tree"] > row["rm_native"]
+
+
+class TestCli:
+    def test_cli_quick_run(self, capsys):
+        assert cli_main(["table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "O|SS APAI access times" in out
+        assert "LaunchMON" in out
+
+    def test_cli_multiple_experiments(self, capsys):
+        assert cli_main(["A1", "--quick"]) == 0
+        assert "RM debug-event scaling" in capsys.readouterr().out
+
+    def test_cli_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            cli_main(["figure9"])

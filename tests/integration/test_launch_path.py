@@ -1,0 +1,205 @@
+"""End-to-end integration: launchAndSpawn / attachAndSpawn over LaunchMON.
+
+These tests run the complete critical path of Figure 2 -- engine fork,
+launcher tracing, MPIR breakpoint, RPDTAB fetch, daemon co-location, fabric
+wireup, LMONP handshake, ready -- with a minimal tool daemon.
+"""
+
+import pytest
+
+from repro.apps import make_compute_app
+from repro.be import BackEnd
+from repro.fe import SessionState, ToolFrontEnd
+from repro.rm import DaemonSpec, JobState
+from repro.runner import drive, make_env
+
+
+def echo_daemon(ctx):
+    """Minimal tool daemon: init, report local tasks, finalize."""
+    be = BackEnd(ctx)
+    yield from be.init()
+    yield from be.ready()
+    local = [e.rank for e in be.get_my_proctab()]
+    gathered = yield from be.gather(local)
+    if be.am_i_master():
+        yield from be.send_usrdata({"all_ranks": sorted(
+            r for chunk in gathered for r in chunk)})
+    yield from be.finalize()
+
+
+@pytest.fixture
+def launch_result():
+    env = make_env(n_compute=4)
+    app = make_compute_app(n_tasks=32, tasks_per_node=8)
+    spec = DaemonSpec("echod", main=echo_daemon, image_mb=1.0)
+    out = {}
+
+    def tool(env):
+        fe = ToolFrontEnd(env.cluster, env.rm, "echo")
+        yield from fe.init()
+        session = fe.create_session()
+        yield from fe.launch_and_spawn(session, app, spec,
+                                       usr_data={"hello": "daemons"})
+        out["session"] = session
+        out["report"] = yield from fe.recv_usrdata_be(session)
+        yield from fe.detach(session)
+
+    drive(env, tool(env))
+    out["env"] = env
+    return out
+
+
+class TestLaunchAndSpawn:
+    def test_session_ready_then_detached(self, launch_result):
+        assert launch_result["session"].state is SessionState.DETACHED
+
+    def test_job_running_with_all_tasks(self, launch_result):
+        job = launch_result["session"].job
+        assert job.state is JobState.RUNNING
+        assert len(job.tasks) == 32
+
+    def test_rpdtab_complete(self, launch_result):
+        rpdtab = launch_result["session"].rpdtab
+        assert len(rpdtab) == 32
+        assert len(rpdtab.hosts) == 4
+
+    def test_one_daemon_per_node(self, launch_result):
+        session = launch_result["session"]
+        assert session.n_daemons == 4
+        assert {d.node.name for d in session.daemons} == set(
+            session.rpdtab.hosts)
+
+    def test_daemons_saw_all_ranks(self, launch_result):
+        assert launch_result["report"]["all_ranks"] == list(range(32))
+
+    def test_timeline_is_ordered(self, launch_result):
+        tl = launch_result["session"].timeline
+        order = ["e0_client_call", "e1_engine_invoked", "e2_launcher_started",
+                 "e3_breakpoint", "e4_rpdtab_fetched", "e5_daemon_spawn_req",
+                 "e6_daemons_spawned", "e7_handshake_begin", "e10_ready",
+                 "e11_returned"]
+        times = [tl.marks[name] for name in order]
+        assert times == sorted(times)
+
+    def test_component_times_sum_to_total(self, launch_result):
+        times = launch_result["session"].times
+        parts = (times.rm_time() + times.t_trace + times.t_rpdtab
+                 + times.t_handshake + times.t_other)
+        assert parts == pytest.approx(times.total, rel=1e-6)
+
+    def test_launchmon_share_is_small(self, launch_result):
+        """The headline claim: LaunchMON's own overhead is a small fraction."""
+        times = launch_result["session"].times
+        assert 0.0 < times.launchmon_fraction() < 0.35
+
+    def test_tracing_cost_near_18ms(self, launch_result):
+        times = launch_result["session"].times
+        assert times.t_trace == pytest.approx(0.018, abs=0.004)
+
+
+class TestAttachAndSpawn:
+    def _run(self, n_nodes=4, n_tasks=32):
+        env = make_env(n_compute=n_nodes)
+        app = make_compute_app(n_tasks=n_tasks, tasks_per_node=8)
+        spec = DaemonSpec("echod", main=echo_daemon, image_mb=1.0)
+        out = {}
+
+        def scenario(env):
+            # a job launched normally, no tool attached
+            job = yield from env.rm.launch_job(app, env.rm.allocate(n_nodes))
+            fe = ToolFrontEnd(env.cluster, env.rm, "echo")
+            yield from fe.init()
+            session = fe.create_session()
+            t0 = env.sim.now
+            yield from fe.attach_and_spawn(session, job, spec)
+            out["attach_time"] = env.sim.now - t0
+            out["session"] = session
+            out["report"] = yield from fe.recv_usrdata_be(session)
+            yield from fe.detach(session)
+
+        drive(env, scenario(env))
+        return out
+
+    def test_attach_acquires_all_tasks(self):
+        out = self._run()
+        assert len(out["session"].rpdtab) == 32
+        assert out["report"]["all_ranks"] == list(range(32))
+
+    def test_attach_has_no_job_launch_component(self):
+        out = self._run()
+        assert out["session"].times.t_job == 0.0
+
+    def test_attach_faster_than_launch(self):
+        env = make_env(n_compute=4)
+        app = make_compute_app(n_tasks=32, tasks_per_node=8)
+        spec = DaemonSpec("echod", main=echo_daemon, image_mb=1.0)
+        res = {}
+
+        def scenario(env):
+            fe = ToolFrontEnd(env.cluster, env.rm, "echo")
+            yield from fe.init()
+            s1 = fe.create_session()
+            t0 = env.sim.now
+            yield from fe.launch_and_spawn(s1, app, spec)
+            res["launch"] = env.sim.now - t0
+            yield from fe.recv_usrdata_be(s1)
+            yield from fe.detach(s1)
+
+        drive(env, scenario(env))
+        out = self._run()
+        assert out["attach_time"] < res["launch"]
+
+
+class TestUserDataPiggyback:
+    def test_usr_data_reaches_every_daemon(self):
+        env = make_env(n_compute=3)
+        app = make_compute_app(n_tasks=24, tasks_per_node=8)
+        seen = []
+
+        def daemon(ctx):
+            be = BackEnd(ctx)
+            yield from be.init()
+            seen.append((ctx.rank, ctx.usr_data_init))
+            yield from be.ready()
+            yield from be.finalize()
+
+        spec = DaemonSpec("d", main=daemon)
+
+        def tool(env):
+            fe = ToolFrontEnd(env.cluster, env.rm, "t")
+            yield from fe.init()
+            s = fe.create_session()
+            yield from fe.launch_and_spawn(s, app, spec,
+                                           usr_data={"topo": [1, 2, 3]})
+            yield from fe.detach(s)
+
+        drive(env, tool(env))
+        assert sorted(r for r, _ in seen) == [0, 1, 2]
+        assert all(d == {"topo": [1, 2, 3]} for _, d in seen)
+
+    def test_pack_unpack_registration(self):
+        env = make_env(n_compute=2)
+        app = make_compute_app(n_tasks=16, tasks_per_node=8)
+        got = {}
+
+        def daemon(ctx):
+            be = BackEnd(ctx)
+            yield from be.init()
+            yield from be.ready()
+            if be.am_i_master():
+                yield from be.send_usrdata([3, 1, 2])
+            yield from be.finalize()
+
+        spec = DaemonSpec("d", main=daemon)
+
+        def tool(env):
+            fe = ToolFrontEnd(env.cluster, env.rm, "t")
+            yield from fe.init()
+            s = fe.create_session()
+            fe.register_pack(s, be_to_fe=lambda data: sorted(data))
+            yield from fe.launch_and_spawn(s, app, spec)
+            got["data"] = yield from fe.recv_usrdata_be(s)
+            yield from fe.detach(s)
+
+        drive(env, tool(env))
+        assert got["data"] == [1, 2, 3]

@@ -1,0 +1,161 @@
+"""Tests for ptrace-style tracing and proctable fetching."""
+
+import pytest
+
+from repro.cluster import Node
+from repro.cluster.process import DebugEvent, DebugEventType, ProcState
+from repro.mpir import (
+    MPIR_PROCTABLE,
+    MPIR_PROCTABLE_SIZE,
+    ProcDesc,
+    TraceError,
+    TracedProcess,
+)
+from tests.conftest import run_gen
+
+
+@pytest.fixture
+def target(sim):
+    node = Node(sim, "fe")
+    proc = run_gen(sim, node.fork_exec("srun"))
+    return proc
+
+
+class TestAttachDetach:
+    def test_attach_stops_target(self, sim, target):
+        tr = TracedProcess(target)
+        run_gen(sim, tr.attach())
+        assert tr.attached
+        assert target.traced_by is tr
+        assert target.state is ProcState.STOPPED
+
+    def test_double_attach_rejected(self, sim, target):
+        tr1 = TracedProcess(target)
+        run_gen(sim, tr1.attach())
+        tr2 = TracedProcess(target)
+        with pytest.raises(TraceError, match="already traced"):
+            run_gen(sim, tr2.attach())
+
+    def test_attach_dead_process_rejected(self, sim, target):
+        target.exit(0)
+        sim.run()
+        with pytest.raises(TraceError, match="dead"):
+            run_gen(sim, TracedProcess(target).attach())
+
+    def test_detach_resumes(self, sim, target):
+        tr = TracedProcess(target)
+        run_gen(sim, tr.attach())
+        run_gen(sim, tr.detach())
+        assert target.traced_by is None
+        assert target.state is ProcState.RUNNING
+
+    def test_operation_without_attach_raises(self, sim, target):
+        tr = TracedProcess(target)
+        with pytest.raises(TraceError):
+            run_gen(sim, tr.read_symbol("x"))
+
+
+class TestSymbols:
+    def test_read_write_symbol(self, sim, target):
+        tr = TracedProcess(target)
+        run_gen(sim, tr.attach())
+        run_gen(sim, tr.write_symbol("MPIR_being_debugged", 1))
+        value = run_gen(sim, tr.read_symbol("MPIR_being_debugged"))
+        assert value == 1
+
+    def test_missing_symbol_raises(self, sim, target):
+        tr = TracedProcess(target)
+        run_gen(sim, tr.attach())
+        with pytest.raises(TraceError, match="not found"):
+            run_gen(sim, tr.read_symbol("no_such_symbol"))
+
+    def test_reads_cost_time_and_counted(self, sim, target):
+        tr = TracedProcess(target)
+        run_gen(sim, tr.attach())
+        t0 = sim.now
+        run_gen(sim, tr.write_symbol("s", 1))
+        run_gen(sim, tr.read_symbol("s"))
+        assert sim.now > t0
+        assert tr.words_read == 2
+
+
+class TestEvents:
+    def test_wait_event_blocks_then_delivers(self, sim, target):
+        tr = TracedProcess(target)
+        run_gen(sim, tr.attach())
+        got = []
+
+        def waiter(sim):
+            ev = yield from tr.wait_event()
+            got.append(ev)
+
+        def emitter(sim):
+            yield sim.timeout(1.0)
+            target.emit_debug_event(
+                DebugEvent(DebugEventType.BREAKPOINT, target.pid,
+                           "MPIR_Breakpoint"))
+
+        sim.process(waiter(sim))
+        sim.process(emitter(sim))
+        sim.run()
+        assert got[0].etype is DebugEventType.BREAKPOINT
+        assert tr.events_seen == 1
+
+    def test_events_not_delivered_when_untraced(self, sim, target):
+        target.emit_debug_event(
+            DebugEvent(DebugEventType.FORK, target.pid))
+        assert len(target.debug_events) == 0
+
+
+class TestProctableFetch:
+    def _publish(self, target, n):
+        table = [ProcDesc(rank=r, host_name=f"n{r//8}", executable_name="a",
+                          pid=100 + r) for r in range(n)]
+        target.memory[MPIR_PROCTABLE] = table
+        target.memory[MPIR_PROCTABLE_SIZE] = n
+
+    def test_fetch_roundtrip(self, sim, target):
+        self._publish(target, 32)
+        tr = TracedProcess(target)
+        run_gen(sim, tr.attach())
+        tab = run_gen(sim, tr.read_proctable())
+        assert len(tab) == 32
+        assert tab[7].pid == 107
+
+    def test_fetch_cost_linear_in_tasks(self, sim, target):
+        """Region B of the paper's model: RPDTAB fetch ~ linear in tasks."""
+        tr = TracedProcess(target)
+        run_gen(sim, tr.attach())
+
+        def timed_fetch(n):
+            self._publish(target, n)
+            t0 = sim.now
+            run_gen(sim, tr.read_proctable())
+            return sim.now - t0
+
+        t100 = timed_fetch(100)
+        t800 = timed_fetch(800)
+        assert t800 == pytest.approx(8 * t100, rel=0.15)
+
+    def test_word_reads_counted_3_per_entry(self, sim, target):
+        self._publish(target, 50)
+        tr = TracedProcess(target)
+        run_gen(sim, tr.attach())
+        run_gen(sim, tr.read_proctable())
+        # 1 size read + 3 per entry
+        assert tr.words_read == 1 + 3 * 50
+
+    def test_unpublished_table_raises(self, sim, target):
+        target.memory[MPIR_PROCTABLE_SIZE] = 5
+        tr = TracedProcess(target)
+        run_gen(sim, tr.attach())
+        with pytest.raises(TraceError, match="not published"):
+            run_gen(sim, tr.read_proctable())
+
+    def test_size_mismatch_raises(self, sim, target):
+        self._publish(target, 4)
+        target.memory[MPIR_PROCTABLE_SIZE] = 5
+        tr = TracedProcess(target)
+        run_gen(sim, tr.attach())
+        with pytest.raises(TraceError, match="size"):
+            run_gen(sim, tr.read_proctable())

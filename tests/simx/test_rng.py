@@ -1,0 +1,54 @@
+"""Tests for deterministic hierarchical RNG streams."""
+
+from repro.simx import SeededRNG
+
+
+class TestSeededRNG:
+    def test_same_seed_same_stream(self):
+        a = SeededRNG(5).uniform(0, 1)
+        b = SeededRNG(5).uniform(0, 1)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert SeededRNG(1).uniform(0, 1) != SeededRNG(2).uniform(0, 1)
+
+    def test_child_streams_independent_of_sibling_creation(self):
+        root = SeededRNG(9)
+        x = root.child("net").uniform(0, 1)
+        # creating another sibling first must not perturb "net"
+        root2 = SeededRNG(9)
+        _ = root2.child("fs")
+        y = root2.child("net").uniform(0, 1)
+        assert x == y
+
+    def test_child_path_distinguishes(self):
+        root = SeededRNG(3)
+        assert root.child("a").uniform(0, 1) != root.child("b").uniform(0, 1)
+
+    def test_nested_children(self):
+        a = SeededRNG(1).child("x").child("y").random()
+        b = SeededRNG(1).child("x").child("y").random()
+        assert a == b
+
+    def test_jitter_bounds(self):
+        rng = SeededRNG(7)
+        for _ in range(200):
+            v = rng.jitter(1.0, rel=0.1)
+            assert 0.9 <= v <= 1.1
+
+    def test_jitter_zero_base(self):
+        assert SeededRNG(1).jitter(0.0) == 0.0
+        assert SeededRNG(1).jitter(-1.0) == 0.0
+
+    def test_jitter_never_negative(self):
+        rng = SeededRNG(11)
+        for _ in range(100):
+            assert rng.jitter(1e-9, rel=2.0) >= 0.0
+
+    def test_randint_choice_shuffle(self):
+        rng = SeededRNG(13)
+        assert 1 <= rng.randint(1, 3) <= 3
+        assert rng.choice(["a", "b"]) in ("a", "b")
+        seq = list(range(10))
+        rng.shuffle(seq)
+        assert sorted(seq) == list(range(10))

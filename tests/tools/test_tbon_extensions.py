@@ -1,0 +1,114 @@
+"""Tests for the TBON extensions: multi-level STAT and Jobsnap-over-TBON.
+
+These cover the paper's future-work directions: communication daemons
+launched through the MW API for deeper topologies, and TBON-based
+collection for Jobsnap (Section 5.1's closing remark).
+"""
+
+import pytest
+
+from repro.apps import make_compute_app, make_hang_app
+from repro.runner import drive, make_env
+from repro.tbon import TBONTopology
+from repro.tools.jobsnap import run_jobsnap, run_jobsnap_tbon
+from repro.tools.stat_tool import run_stat_launchmon
+
+
+class TestMultiLevelStat:
+    def test_balanced_topology_same_answer_as_flat(self):
+        """Reduction through comm daemons is lossless."""
+        n = 16
+        app = make_hang_app(n_tasks=8 * n, tasks_per_node=8,
+                            stuck_ranks=(5,), deadlocked_pair=True)
+
+        def run(topology):
+            env = make_env(n_compute=n + 8)
+            box = {}
+
+            def s(env=env, box=box):
+                job = yield from env.rm.launch_job(app, env.rm.allocate(n))
+                box["r"] = yield from run_stat_launchmon(
+                    env.cluster, env.rm, job, topology=topology)
+
+            drive(env, s())
+            return box["r"]
+
+        flat = run(None)
+        deep = run(TBONTopology.balanced(n, fanout=4))
+        assert flat.tree == deep.tree
+        assert flat.classes == deep.classes
+
+    def test_comm_daemons_on_extra_nodes(self):
+        n = 8
+        app = make_hang_app(n_tasks=8 * n, tasks_per_node=8)
+        env = make_env(n_compute=n + 4)
+        box = {}
+
+        def s(env=env, box=box):
+            job = yield from env.rm.launch_job(app, env.rm.allocate(n))
+            box["r"] = yield from run_stat_launchmon(
+                env.cluster, env.rm, job,
+                topology=TBONTopology.balanced(n, fanout=4))
+            box["mw_procs"] = [
+                node for node in env.cluster.compute
+                if node.processes_of("mrnet_commnode")]
+
+        drive(env, s())
+        # two comm daemons for 8 BEs at fanout 4, on non-job nodes
+        assert len(box["mw_procs"]) == 2
+        assert box["r"].tree.all_ranks == set(range(64))
+
+
+class TestJobsnapTbon:
+    def _run_both(self, n, n_waves=1):
+        app = make_compute_app(n_tasks=8 * n, tasks_per_node=8)
+
+        env = make_env(n_compute=n)
+        box = {}
+
+        def classic(env=env, box=box):
+            job = yield from env.rm.launch_job(app, env.rm.allocate(n))
+            box["r"] = yield from run_jobsnap(env.cluster, env.rm, job)
+
+        drive(env, classic())
+        c = box["r"]
+
+        env = make_env(n_compute=n + max(2, n // 16))
+        box = {}
+
+        def tbon(env=env, box=box):
+            job = yield from env.rm.launch_job(app, env.rm.allocate(n))
+            box["r"] = yield from run_jobsnap_tbon(
+                env.cluster, env.rm, job, n_waves=n_waves)
+
+        drive(env, tbon())
+        return c, box["r"]
+
+    def test_identical_reports(self):
+        classic, tbon = self._run_both(8)
+        assert ([s.to_tuple() for s in classic.report.snapshots]
+                == [s.to_tuple() for s in tbon.report.snapshots])
+
+    def test_collection_phase_much_faster(self):
+        classic, tbon = self._run_both(32)
+        classic_collect = classic.t_total - classic.t_launchmon
+        tbon_collect = tbon.component_times["t_collect_per_wave"]
+        assert tbon_collect < classic_collect / 2
+
+    def test_repeated_waves_cheaper_than_startup(self):
+        _, tbon = self._run_both(16, n_waves=4)
+        per_wave = tbon.component_times["t_collect_per_wave"]
+        assert per_wave * 4 < tbon.t_launchmon
+
+    def test_daemon_count_includes_comm_layer(self):
+        _, tbon = self._run_both(32)
+        assert tbon.n_daemons == 32 + 2  # 32 BEs + ceil(32/16) comm daemons
+
+
+class TestAblationA4:
+    def test_runner_shape(self):
+        from repro.experiments import run_ablation_jobsnap_tbon
+        r = run_ablation_jobsnap_tbon(daemon_counts=(32,), n_waves=2)
+        row = r.rows[0]
+        assert row["collect_speedup"] > 2
+        assert row["tbon_startup"] > row["iccl_startup"]

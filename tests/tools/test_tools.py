@@ -1,0 +1,197 @@
+"""Functional tests for the three case-study tools."""
+
+import pytest
+
+from repro.apps import make_compute_app, make_hang_app, make_io_heavy_app
+from repro.runner import drive, make_env
+from repro.tools.jobsnap import run_jobsnap
+from repro.tools.oss import (
+    DpclError,
+    DpclInfrastructure,
+    DpclInstrumentor,
+    LaunchmonInstrumentor,
+)
+from repro.tools.stat_tool import run_stat_launchmon, run_stat_mrnet_native
+
+
+def _with_job(n_nodes, app, body):
+    env = make_env(n_compute=n_nodes)
+    box = {}
+
+    def scenario(env):
+        job = yield from env.rm.launch_job(app, env.rm.allocate(n_nodes))
+        yield from body(env, job, box)
+
+    drive(env, scenario(env))
+    return box
+
+
+class TestJobsnap:
+    def test_one_line_per_task(self):
+        app = make_compute_app(n_tasks=24, tasks_per_node=8)
+
+        def body(env, job, box):
+            box["r"] = yield from run_jobsnap(env.cluster, env.rm, job)
+
+        box = _with_job(3, app, body)
+        r = box["r"]
+        assert len(r.report) == 24
+        assert [s.rank for s in r.report.snapshots] == list(range(24))
+        text = r.report.to_text()
+        assert text.count("\n") == 24  # header + 24 lines
+
+    def test_snapshot_fields_match_behavior(self):
+        app = make_io_heavy_app(n_tasks=16, tasks_per_node=8)
+
+        def body(env, job, box):
+            box["r"] = yield from run_jobsnap(env.cluster, env.rm, job)
+
+        box = _with_job(2, app, body)
+        snaps = box["r"].report.snapshots
+        writers = [s for s in snaps if s.rank % 8 == 0]
+        others = [s for s in snaps if s.rank % 8 != 0]
+        assert all(s.state == "D" for s in writers)
+        assert all(s.vm_lck_kb == 4096 for s in writers)
+        assert all(s.state == "S" for s in others)
+        assert all(s.maj_flt == 900 for s in writers)
+
+    def test_timing_split(self):
+        app = make_compute_app(n_tasks=32, tasks_per_node=8)
+
+        def body(env, job, box):
+            box["r"] = yield from run_jobsnap(env.cluster, env.rm, job)
+
+        box = _with_job(4, app, body)
+        r = box["r"]
+        assert 0 < r.t_launchmon < r.t_total
+        assert r.n_daemons == 4
+        assert r.n_tasks == 32
+
+    def test_launchmon_dominates_runtime(self):
+        """Fig 5's structure: most of Jobsnap's time is the launch span."""
+        app = make_compute_app(n_tasks=64, tasks_per_node=8)
+
+        def body(env, job, box):
+            box["r"] = yield from run_jobsnap(env.cluster, env.rm, job)
+
+        box = _with_job(8, app, body)
+        r = box["r"]
+        assert r.t_launchmon / r.t_total > 0.6
+
+
+class TestStat:
+    def _hang_app(self, n_tasks=32):
+        return make_hang_app(n_tasks=n_tasks, tasks_per_node=8,
+                             stuck_ranks=(3, 17), deadlocked_pair=True)
+
+    def test_launchmon_finds_equivalence_classes(self):
+        def body(env, job, box):
+            box["r"] = yield from run_stat_launchmon(env.cluster, env.rm, job)
+
+        box = _with_job(4, self._hang_app(), body)
+        r = box["r"]
+        classes = {path[-1]: ranks for path, ranks in r.classes}
+        assert classes["MPI_Barrier"] == set(range(32)) - {0, 3, 17}
+        assert classes["inner_loop"] == {3, 17}
+        assert classes["MPI_Recv"] == {0}
+
+    def test_native_and_launchmon_agree_on_tree(self):
+        def lbody(env, job, box):
+            box["r"] = yield from run_stat_launchmon(env.cluster, env.rm, job)
+
+        def nbody(env, job, box):
+            box["r"] = yield from run_stat_mrnet_native(env.cluster, env.rm,
+                                                        job)
+
+        box_l = _with_job(4, self._hang_app(), lbody)
+        box_n = _with_job(4, self._hang_app(), nbody)
+        assert box_l["r"].tree == box_n["r"].tree
+
+    def test_launchmon_startup_much_faster_at_scale(self):
+        n = 32
+
+        def lbody(env, job, box):
+            box["r"] = yield from run_stat_launchmon(env.cluster, env.rm, job)
+
+        def nbody(env, job, box):
+            box["r"] = yield from run_stat_mrnet_native(env.cluster, env.rm,
+                                                        job)
+
+        t_l = _with_job(n, self._hang_app(8 * n), lbody)["r"].startup.total
+        t_n = _with_job(n, self._hang_app(8 * n), nbody)["r"].startup.total
+        assert t_n > 5 * t_l
+
+    def test_all_ranks_covered(self):
+        def body(env, job, box):
+            box["r"] = yield from run_stat_launchmon(env.cluster, env.rm, job)
+
+        box = _with_job(4, self._hang_app(), body)
+        assert box["r"].tree.all_ranks == set(range(32))
+
+
+class TestOss:
+    def test_apai_tables_identical(self):
+        app = make_compute_app(n_tasks=16, tasks_per_node=8)
+
+        def body(env, job, box):
+            dpcl = DpclInfrastructure(env.cluster)
+            yield from dpcl.preinstall()
+            old = DpclInstrumentor(env.cluster, dpcl)
+            new = LaunchmonInstrumentor(env.cluster, env.rm)
+            box["dpcl"] = yield from old.acquire_apai(job)
+            box["lmon"] = yield from new.acquire_apai(job)
+
+        box = _with_job(2, app, body)
+        assert box["dpcl"].proctable == box["lmon"].proctable
+        assert len(box["lmon"].proctable) == 16
+
+    def test_dpcl_roughly_constant_and_slow(self):
+        app = make_compute_app(n_tasks=16, tasks_per_node=8)
+
+        def body(env, job, box):
+            dpcl = DpclInfrastructure(env.cluster)
+            yield from dpcl.preinstall()
+            old = DpclInstrumentor(env.cluster, dpcl)
+            box["r"] = yield from old.acquire_apai(job)
+
+        box = _with_job(2, app, body)
+        assert 30 < box["r"].t_access < 40  # the ~34 s constant
+        assert box["r"].used_root_daemons
+
+    def test_launchmon_subsecond_and_rootless(self):
+        app = make_compute_app(n_tasks=16, tasks_per_node=8)
+
+        def body(env, job, box):
+            new = LaunchmonInstrumentor(env.cluster, env.rm)
+            box["r"] = yield from new.acquire_apai(job)
+
+        box = _with_job(2, app, body)
+        assert box["r"].t_access < 1.0
+        assert not box["r"].used_root_daemons
+
+    def test_dpcl_requires_preinstalled_daemons(self):
+        app = make_compute_app(n_tasks=8, tasks_per_node=8)
+
+        def body(env, job, box):
+            dpcl = DpclInfrastructure(env.cluster)  # NOT preinstalled
+            old = DpclInstrumentor(env.cluster, dpcl)
+            try:
+                yield from old.acquire_apai(job)
+            except DpclError as exc:
+                box["err"] = str(exc)
+
+        box = _with_job(1, app, body)
+        assert "root" in box["err"]
+
+    def test_dpcl_daemons_run_as_root(self):
+        env = make_env(n_compute=2)
+        box = {}
+
+        def scenario(env):
+            dpcl = DpclInfrastructure(env.cluster)
+            yield from dpcl.preinstall()
+            box["root"] = all(
+                dpcl.is_root_daemon(n) for n in env.cluster.nodes)
+
+        drive(env, scenario(env))
+        assert box["root"]
