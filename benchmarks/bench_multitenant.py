@@ -1,0 +1,105 @@
+"""Multi-tenant bench: session throughput and p50/p99 launch latency.
+
+Sweeps concurrent tool sessions on a shared cluster through the
+non-blocking :class:`~repro.fe.service.ToolService` API and reports, per
+tenant count, throughput (sessions per virtual second) and the p50/p99
+client-visible launch latency. Under pytest-benchmark the series lands in
+``extra_info`` (JSON via ``--benchmark-json``); run the file directly for
+plain JSON on stdout:
+
+    PYTHONPATH=src python benchmarks/bench_multitenant.py
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import percentile, run_multitenant
+from repro.experiments.multitenant import run_tenants_once
+from repro.fe import SessionState
+
+TENANT_COUNTS = (1, 4, 8, 16, 32)
+N_COMPUTE = 64
+NODES_PER_SESSION = 8
+
+
+def multitenant_series(tenant_counts=TENANT_COUNTS, n_compute=N_COMPUTE,
+                       nodes_per_session=NODES_PER_SESSION,
+                       max_in_flight=None):
+    """The benchmark's payload as a JSON-able dict."""
+    result = run_multitenant(tenant_counts=tenant_counts,
+                             n_compute=n_compute,
+                             nodes_per_session=nodes_per_session,
+                             max_in_flight=max_in_flight)
+    return {
+        "config": {
+            "n_compute": n_compute,
+            "nodes_per_session": nodes_per_session,
+            "max_in_flight": max_in_flight,
+            "tenant_counts": list(tenant_counts),
+        },
+        "series": [
+            {
+                "tenants": row["tenants"],
+                "throughput_sessions_per_s": round(row["throughput"], 4),
+                "p50_launch_latency_s": round(row["p50_latency"], 4),
+                "p99_launch_latency_s": round(row["p99_latency"], 4),
+                "mean_alloc_wait_s": round(row["mean_alloc_wait"], 4),
+                "makespan_s": round(row["makespan"], 4),
+                "peak_in_flight": row["peak_in_flight"],
+            }
+            for row in result.rows
+        ],
+        "notes": result.notes,
+    }
+
+
+@pytest.mark.benchmark(group="multitenant")
+def bench_multitenant_sweep(benchmark):
+    """Full tenant sweep; asserts the contention signature is present."""
+    payload = benchmark.pedantic(multitenant_series, rounds=1, iterations=1)
+    for row in payload["series"]:
+        benchmark.extra_info[f"throughput@{row['tenants']}"] = \
+            row["throughput_sessions_per_s"]
+        benchmark.extra_info[f"p50@{row['tenants']}"] = \
+            row["p50_launch_latency_s"]
+        benchmark.extra_info[f"p99@{row['tenants']}"] = \
+            row["p99_launch_latency_s"]
+
+    by_n = {row["tenants"]: row for row in payload["series"]}
+    # contention: beyond cluster capacity (8 sessions) p99 grows and the
+    # allocation queue is actually exercised
+    assert by_n[32]["p99_launch_latency_s"] > by_n[8]["p99_launch_latency_s"]
+    assert by_n[32]["mean_alloc_wait_s"] > 0
+    # throughput saturates rather than collapsing
+    assert by_n[32]["throughput_sessions_per_s"] > \
+        0.8 * by_n[16]["throughput_sessions_per_s"]
+
+
+@pytest.mark.benchmark(group="multitenant")
+@pytest.mark.parametrize("n_tenants", [8, 32])
+def bench_multitenant_wave(benchmark, n_tenants):
+    """Wall-clock cost of one wave; verifies callbacks fired everywhere."""
+    env, handles = benchmark.pedantic(
+        run_tenants_once, args=(n_tenants,),
+        kwargs=dict(n_compute=N_COMPUTE,
+                    nodes_per_session=NODES_PER_SESSION),
+        rounds=1, iterations=1)
+    assert all(h.done and h.exception is None for h in handles)
+    # every session walked CREATED -> ... -> DETACHED with callbacks firing
+    for h in handles:
+        states = [new for _, _, new in h.transitions]
+        assert states[0] is SessionState.QUEUED
+        assert SessionState.READY in states
+        assert states[-1] is SessionState.DETACHED
+    lats = [h.launch_latency for h in handles]
+    benchmark.extra_info["virtual_p50_s"] = round(percentile(lats, 50), 4)
+    benchmark.extra_info["virtual_p99_s"] = round(percentile(lats, 99), 4)
+
+
+def main() -> None:
+    print(json.dumps(multitenant_series(), indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Multi-tenant demo: ten tool sessions sharing one simulated cluster.
+
+The non-blocking face of the FE API: submit ``launchAndSpawn`` operations
+to a :class:`~repro.fe.service.ToolService` and get back
+:class:`~repro.fe.service.SessionHandle` futures. Status callbacks
+(``LMON_fe_regStatusCB`` style) announce every session-state transition;
+afterwards the handles' timing fields decompose each tenant's latency into
+admission wait, node-allocation wait and actual spawn time.
+
+The cluster fits 4 concurrent sessions (32 nodes, 8 per session) and the
+service admits at most 6 at a time -- so tenants 5+ queue, first at the
+service's admission gate, then in the RM's FIFO node queue. That queueing
+is precisely what the classic one-session-at-a-time API could not express.
+
+Run:  python examples/multitenant_demo.py
+"""
+
+from repro import DaemonSpec, drive, make_service_env
+from repro.apps import make_compute_app
+from repro.be import BackEnd
+
+N_TENANTS = 10
+N_COMPUTE = 32
+NODES_PER_SESSION = 8
+
+
+def tool_daemon(ctx):
+    """Each tenant's back-end daemon: init, report, finalize."""
+    be = BackEnd(ctx)
+    yield from be.init()
+    yield from be.ready()
+    if be.am_i_master():
+        yield from be.send_usrdata({"daemons": be.get_size()})
+    yield from be.finalize()
+
+
+def tenant_body(fe, session):
+    """Per-session tool logic, run inside the session's own sim process."""
+    report = yield from fe.recv_usrdata_be(session)
+    yield from fe.detach(session, reclaim_job=True)
+    return report
+
+
+def main():
+    env = make_service_env(n_compute=N_COMPUTE, max_in_flight=6)
+    app = make_compute_app(n_tasks=NODES_PER_SESSION * 4, tasks_per_node=4)
+    spec = DaemonSpec("demo_be", main=tool_daemon, image_mb=1.0)
+
+    print(f"=== {N_TENANTS} concurrent tool sessions on {N_COMPUTE} "
+          f"simulated nodes ({NODES_PER_SESSION} nodes each, "
+          f"admission cap 6) ===\n")
+
+    def announce(session, old, new):
+        print(f"  [t={env.sim.now:7.3f}] session {session.id:2d} "
+              f"({session.tool_name}): {old.value} -> {new.value}")
+
+    handles = []
+    for i in range(N_TENANTS):
+        h = env.service.submit_launch(app, spec, tool_name=f"user{i}",
+                                      body=tenant_body)
+        h.register_status_cb(announce)
+        handles.append(h)
+
+    print("state transitions (all sessions interleaved):")
+    drive(env, env.service.drain())
+
+    print(f"\nper-tenant latency decomposition (virtual seconds):")
+    print(f"{'tenant':>8} {'admission':>10} {'alloc_wait':>10} "
+          f"{'spawn':>8} {'total':>8}")
+    for h in handles:
+        spawn = h.launch_latency - h.queue_wait - h.alloc_wait
+        print(f"{h.fe.tool_name:>8} {h.queue_wait:10.3f} "
+              f"{h.alloc_wait:10.3f} {spawn:8.3f} {h.launch_latency:8.3f}")
+
+    summary = env.service.summary()
+    lats = summary["launch_latencies"]
+    makespan = max(h.finished_at for h in handles)
+    print(f"\n{summary['completed']}/{summary['submitted']} sessions "
+          f"completed in {makespan:.3f}s "
+          f"({summary['completed'] / makespan:.1f} sessions/s), "
+          f"peak concurrency {summary['peak_in_flight']}")
+    print(f"latency: min {lats[0]:.3f}s, max {lats[-1]:.3f}s -- the spread "
+          f"is pure queueing; every daemon report arrived: "
+          f"{all(h.body_result == {'daemons': NODES_PER_SESSION} for h in handles)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,9 +9,11 @@ BG-L / rsh-only resource managers with an MPIR/APAI debug interface, a
 tree-based overlay network), the three case-study tools (Jobsnap, STAT,
 Open|SpeedShop), the ad-hoc launching baselines, and the Section 4
 performance model -- plus experiment runners regenerating Figure 3,
-Figure 5, Figure 6 and Table 1.
+Figure 5, Figure 6 and Table 1, and a multi-tenant scaling study
+(``repro.experiments.multitenant``) built on the non-blocking
+:class:`ToolService` / :class:`SessionHandle` API.
 
-Quick start::
+Quick start (blocking, single tool)::
 
     from repro import make_env, drive, ToolFrontEnd
     from repro.apps import make_compute_app
@@ -19,15 +21,36 @@ Quick start::
     env = make_env(n_compute=16)
     ...  # see examples/quickstart.py
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for
-paper-vs-measured results.
+Quick start (non-blocking, many tools)::
+
+    from repro import make_service_env, drive
+
+    env = make_service_env(n_compute=64, max_in_flight=8)
+    ...  # see examples/multitenant_demo.py
+
+See README.md for a tour of both APIs; ROADMAP.md tracks where this
+reproduction is headed and PAPER.md holds the source paper's abstract.
 """
 
-from repro.runner import SimEnv, drive, make_env
-from repro.fe import LMONSession, SessionState, ToolFrontEnd
+from repro.runner import (
+    ServiceEnv,
+    SimEnv,
+    drive,
+    drive_many,
+    make_env,
+    make_service_env,
+)
+from repro.fe import (
+    LMONSession,
+    SessionHandle,
+    SessionState,
+    ToolFrontEnd,
+    ToolService,
+)
 from repro.be import BackEnd, BEContext
 from repro.mw import Middleware, MWContext
 from repro.rm import (
+    AllocationError,
     BglMpirunRM,
     DaemonSpec,
     ResourceManager,
@@ -38,9 +61,10 @@ from repro.rm import (
 from repro.cluster import Cluster, ClusterSpec, CostModel
 from repro.apps import AppSpec, make_compute_app, make_hang_app, make_io_heavy_app
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AllocationError",
     "AppSpec",
     "BEContext",
     "BackEnd",
@@ -54,13 +78,18 @@ __all__ = [
     "Middleware",
     "ResourceManager",
     "RshRM",
+    "ServiceEnv",
+    "SessionHandle",
     "SessionState",
     "SimEnv",
     "SlurmConfig",
     "SlurmRM",
     "ToolFrontEnd",
+    "ToolService",
     "drive",
+    "drive_many",
     "make_env",
+    "make_service_env",
     "make_compute_app",
     "make_hang_app",
     "make_io_heavy_app",

@@ -56,10 +56,20 @@ class SharedFilesystem:
         self.bytes_served = 0.0
 
     def load_image(self, image_mb: float) -> Generator[Any, Any, None]:
-        """Load one executable image; serializes on FS server capacity."""
+        """Load one executable image; serializes on FS server capacity.
+
+        Interrupt-safe: a loader interrupted while queued for (or holding)
+        a server slot returns it, so an aborted daemon spawn cannot wedge
+        the filesystem for every later launch.
+        """
         if image_mb <= 0:
             return
-        yield self._servers.request()
+        req = self._servers.request()
+        try:
+            yield req
+        except BaseException:
+            self._servers.cancel(req)
+            raise
         try:
             nbytes = image_mb * 1024 * 1024
             self.loads += 1

@@ -87,8 +87,14 @@ class Node:
         self._uid_counts[uid] = count + 1
         self.max_uid_procs_seen = max(self.max_uid_procs_seen, count + 1)
 
-        yield self.sim.timeout(
-            self.rng.jitter(self.costs.fork_exec, self.costs.fork_jitter))
+        try:
+            yield self.sim.timeout(
+                self.rng.jitter(self.costs.fork_exec, self.costs.fork_jitter))
+        except BaseException:
+            # fork aborted (e.g. the spawning process was interrupted):
+            # return the reserved process-table slot
+            self._uid_counts[uid] = max(0, self._uid_counts.get(uid, 1) - 1)
+            raise
 
         pid = self._next_pid
         self._next_pid += 1

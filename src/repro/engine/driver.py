@@ -27,7 +27,12 @@ from repro.mpir import (
 )
 from repro.rm.base import Allocation, DaemonSpec, JobState, ResourceManager, RMJob
 
-__all__ = ["EngineError", "LaunchMONEngine"]
+__all__ = ["ENGINE_EXECUTABLE", "ENGINE_IMAGE_MB", "EngineError",
+           "LaunchMONEngine"]
+
+#: identity of the engine process; shared with the FE's engine-reuse path
+ENGINE_EXECUTABLE = "launchmon-engine"
+ENGINE_IMAGE_MB = 3.0
 
 
 class EngineError(RuntimeError):
@@ -53,16 +58,28 @@ class LaunchMONEngine:
         self.tracer: Optional[TracedProcess] = None
         self.fe_stream = fe_stream
         self.proc: Optional[SimProcess] = None
+        #: False when the FE shares one engine process across sessions --
+        #: then detach() leaves the process alive for the next launch
+        self.owns_proc = True
         self.timeline = LaunchTimeline()
         self.times = ComponentTimes()
         self.job: Optional[RMJob] = None
 
     # -- lifecycle ----------------------------------------------------------
-    def start(self) -> Generator[Any, Any, None]:
-        """Fork the engine process on the front-end node (e1)."""
+    def start(self, proc: Optional[SimProcess] = None,
+              ) -> Generator[Any, Any, None]:
+        """Fork the engine process on the front-end node (e1).
+
+        With ``proc`` (a live engine process from an earlier session of the
+        same front end) the fork is skipped entirely: the engine adopts the
+        process, so session N>1 pays no e1 fork cost.
+        """
         self.timeline.mark("e1_engine_invoked", self.sim.now)
+        if proc is not None and proc.alive:
+            self.proc = proc
+            return
         self.proc = yield from self.cluster.front_end.fork_exec(
-            "launchmon-engine", image_mb=3.0)
+            ENGINE_EXECUTABLE, image_mb=ENGINE_IMAGE_MB)
 
     # -- launch mode ------------------------------------------------------------
     def launch_and_spawn(self, app: AppSpec, alloc: Allocation,
@@ -178,10 +195,10 @@ class LaunchMONEngine:
 
     # -- teardown / control --------------------------------------------------------
     def detach(self) -> Generator[Any, Any, None]:
-        """Detach from the RM launcher and retire the engine process."""
+        """Detach from the RM launcher; retire the engine process if owned."""
         if self.tracer is not None and self.tracer.attached:
             yield from self.tracer.detach()
-        if self.proc is not None and self.proc.alive:
+        if self.owns_proc and self.proc is not None and self.proc.alive:
             self.proc.exit(0)
 
     def kill_job(self) -> Generator[Any, Any, None]:

@@ -13,6 +13,7 @@ from repro.experiments import (
     run_fig3,
     run_fig5,
     run_fig6,
+    run_multitenant,
     run_table1,
 )
 
@@ -27,6 +28,8 @@ QUICK_SWEEPS = {
     "A2": dict(daemon_counts=(16, 64)),
     "A3": dict(daemon_counts=(16, 64)),
     "A4": dict(daemon_counts=(64,)),
+    "mt": dict(tenant_counts=(1, 4, 8), n_compute=32,
+               nodes_per_session=4),
 }
 
 RUNNERS = {
@@ -38,6 +41,7 @@ RUNNERS = {
     "A2": run_ablation_iccl,
     "A3": run_ablation_launchers,
     "A4": run_ablation_jobsnap_tbon,
+    "mt": run_multitenant,
 }
 
 

@@ -12,9 +12,28 @@ co-location are fused into single operations: :meth:`ToolFrontEnd.launch_and_spa
 (``attachAndSpawn``); there are deliberately no separated variants.
 Pack/unpack registration enables piggybacking tool data on LaunchMON's own
 handshake exchanges.
+
+Two faces of the same API:
+
+* blocking -- drive a :class:`ToolFrontEnd` generator yourself (one session
+  at a time, the original C API's shape);
+* non-blocking -- submit operations to a :class:`ToolService` and get back
+  :class:`SessionHandle` futures, with ``LMON_fe_regStatusCB``-style status
+  callbacks on every :class:`SessionState` transition. This is the
+  multi-tenant face: N sessions interleave on one cluster, queueing FIFO
+  for nodes and (optionally) for service admission.
 """
 
-from repro.fe.session import LMONSession, SessionState
+from repro.fe.session import LMONSession, SessionState, StatusCallback
 from repro.fe.api import FrontEndError, ToolFrontEnd
+from repro.fe.service import SessionHandle, ToolService
 
-__all__ = ["FrontEndError", "LMONSession", "SessionState", "ToolFrontEnd"]
+__all__ = [
+    "FrontEndError",
+    "LMONSession",
+    "SessionHandle",
+    "SessionState",
+    "StatusCallback",
+    "ToolFrontEnd",
+    "ToolService",
+]

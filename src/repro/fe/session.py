@@ -3,27 +3,79 @@
 A session groups one set of daemons with one job (Section 3.2): most FE
 procedures take a session handle, and the front-end runtime keeps a session
 resource descriptor table mapping handles to state.
+
+The session state machine
+-------------------------
+Every session moves through :class:`SessionState` along these edges::
+
+                 launch/attach submitted        nodes granted
+      CREATED ------------------------> QUEUED ---------------+
+         |                                                     |
+         |  attach_and_spawn (no allocation wait)              v
+         +--------------------------------------------------> SPAWNING
+                                                               |
+                                       daemons ready (e11)     v
+                        +----------------------------------- READY
+                        |                                      |
+          launch_mw_daemons                                    |
+                        v                                      |
+                    MW_READY ----------------------------------+
+                        |                                      |
+                        +-----------------+--------------------+
+                                          |
+                              detach()    |    kill()
+                                          v
+                                DETACHED  /  KILLED        (terminal)
+
+A launch or attach that raises moves the session to ``FAILED`` (terminal)
+after its resources are reclaimed, so status-callback listeners always see
+a terminal transition -- dead sessions do not linger as ``SPAWNING``.
+
+``QUEUED`` is entered while a launch waits on the resource manager's FIFO
+allocation queue (:meth:`~repro.rm.base.ResourceManager.allocate_async`);
+on an idle cluster the QUEUED -> SPAWNING transition happens at the same
+virtual instant, but under multi-tenant contention (see
+:mod:`repro.fe.service`) a session can spend most of its latency here.
+``launch_mw_daemons`` also passes through ``QUEUED`` while waiting for
+middleware nodes, returning to its entry state (READY / MW_READY) once
+they are granted.
+
+Status callbacks
+----------------
+Mirroring ``LMON_fe_regStatusCB``, any number of callbacks can be attached
+with :meth:`LMONSession.register_status_cb`; each is invoked synchronously
+as ``cb(session, old_state, new_state)`` on *every* state transition, in
+registration order, at the virtual time the transition happens. Callbacks
+must not block (they are plain functions, not generators) -- use them to
+record timestamps, wake waiters, or drive external bookkeeping, exactly as
+LaunchMON tools use the status-callback hook for responsiveness instead of
+polling.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.engine.timeline import ComponentTimes, LaunchTimeline
 
-__all__ = ["LMONSession", "SessionState"]
+__all__ = ["LMONSession", "SessionState", "StatusCallback"]
 
 
 class SessionState(enum.Enum):
     CREATED = "created"
+    QUEUED = "queued"
     SPAWNING = "spawning"
     READY = "ready"
     MW_READY = "mw-ready"
     DETACHED = "detached"
     KILLED = "killed"
+    FAILED = "failed"
+
+
+#: signature of a status callback: ``cb(session, old_state, new_state)``
+StatusCallback = Callable[["LMONSession", SessionState, SessionState], None]
 
 
 class LMONSession:
@@ -36,17 +88,25 @@ class LMONSession:
         self.tool_name = tool_name
         #: shared secret from which LMONP security tokens derive
         self.key = f"{tool_name}-session-{self.id}"
-        self.state = SessionState.CREATED
+        self._state = SessionState.CREATED
+        #: ``LMON_fe_regStatusCB`` equivalents, fired on every transition
+        self._status_cbs: list[StatusCallback] = []
         # bound objects (populated by launch/attach/spawn)
         self.job = None
         self.daemons: list = []
         self.fabric = None
         self.mw_daemons: list = []
+        #: every MW daemon ever spawned for this session (repeat
+        #: ``launch_mw_daemons`` calls replace ``mw_daemons`` -- the
+        #: *current* set -- but reclaim must be able to end them all)
+        self.all_mw_daemons: list = []
         self.mw_fabric = None
         self.rpdtab = None
         self.engine = None
         self.be_stream = None
         self.mw_stream = None
+        #: allocations this session obtained itself (returned on detach/kill)
+        self.owned_allocs: list = []
         # data-transfer registration (jsonable-structure transforms)
         self.pack_fe_to_be: Optional[Callable[[Any], Any]] = None
         self.unpack_be_to_fe: Optional[Callable[[Any], Any]] = None
@@ -56,16 +116,39 @@ class LMONSession:
         self.timeline = LaunchTimeline()
         self.times = ComponentTimes()
 
+    # -- state machine -------------------------------------------------------
+    @property
+    def state(self) -> SessionState:
+        return self._state
+
+    @state.setter
+    def state(self, new: SessionState) -> None:
+        old = self._state
+        if new is old:
+            return
+        self._state = new
+        for cb in list(self._status_cbs):
+            cb(self, old, new)
+
+    def register_status_cb(self, cb: StatusCallback) -> None:
+        """``LMON_fe_regStatusCB``: call ``cb(session, old, new)`` on every
+        state transition, synchronously, in registration order."""
+        self._status_cbs.append(cb)
+
+    def unregister_status_cb(self, cb: StatusCallback) -> None:
+        """Remove a previously registered status callback."""
+        self._status_cbs.remove(cb)
+
     @property
     def n_daemons(self) -> int:
         return len(self.daemons)
 
     def require_state(self, *allowed: SessionState) -> None:
-        if self.state not in allowed:
+        if self._state not in allowed:
             raise RuntimeError(
-                f"session {self.id} in state {self.state}, needs one of "
-                f"{[s.value for s in allowed]}")
+                f"session {self.id} in state {self._state.value}, needs one "
+                f"of {[s.value for s in allowed]}")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return (f"<LMONSession {self.id} [{self.tool_name}] {self.state.value} "
+        return (f"<LMONSession {self.id} [{self.tool_name}] {self._state.value} "
                 f"daemons={self.n_daemons}>")

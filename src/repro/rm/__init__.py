@@ -20,6 +20,7 @@ machinery for three platform archetypes:
 
 from repro.rm.base import (
     Allocation,
+    AllocationError,
     DaemonSpec,
     JobState,
     LaunchedDaemon,
@@ -34,6 +35,7 @@ from repro.rm.rsh import RshRM
 
 __all__ = [
     "Allocation",
+    "AllocationError",
     "BglMpirunRM",
     "DaemonSpec",
     "JobState",

@@ -12,16 +12,24 @@ LaunchMON builds on:
 Daemon processes are real :class:`~repro.simx.Process` instances running the
 tool's back-end body, so tool code executes concurrently with the rest of
 the simulation just as real daemons would.
+
+Allocation has two faces. :meth:`ResourceManager.allocate` is the classic
+immediate grant, raising a typed :class:`AllocationError` when the cluster
+lacks free nodes. :meth:`ResourceManager.allocate_async` queues the request
+FIFO and suspends the caller until enough nodes are released -- this is what
+lets many concurrent tool sessions (see :mod:`repro.fe.service`) block on
+node contention instead of silently over-allocating the machine.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional, Sequence
 
-from repro.simx import SeededRNG, Simulator
+from repro.simx import Event, SeededRNG, Simulator
 from repro.apps import AppSpec
 from repro.cluster import Cluster, Node, SimProcess
 from repro.mpir import (
@@ -37,6 +45,7 @@ from repro.mpir import (
 
 __all__ = [
     "Allocation",
+    "AllocationError",
     "DaemonSpec",
     "JobState",
     "LaunchedDaemon",
@@ -49,6 +58,15 @@ __all__ = [
 
 class RMError(RuntimeError):
     """Resource-manager failures (no nodes, bad job state, ...)."""
+
+
+class AllocationError(RMError):
+    """The cluster cannot satisfy a node request.
+
+    Raised by :meth:`ResourceManager.allocate` when too few nodes are
+    currently free, and by :meth:`ResourceManager.allocate_async` when the
+    request exceeds the cluster's total size (so it could never be granted).
+    """
 
 
 class UnsupportedOperation(RMError):
@@ -157,23 +175,103 @@ class ResourceManager:
         self._alloc_ids = itertools.count(1)
         self._allocated: set[str] = set()
         self.jobs: list[RMJob] = []
+        #: FIFO queue of pending async requests: (n_nodes, grant event, t_req)
+        self._alloc_waiters: deque[tuple[int, Event, float]] = deque()
+        #: diagnostics: per-grant queue-wait durations (async requests only)
+        self.alloc_waits: list[float] = []
+        #: diagnostics: high-water mark of simultaneously queued requests
+        self.alloc_queue_peak = 0
 
     # -- allocation ---------------------------------------------------------
+    @property
+    def queued_requests(self) -> int:
+        """Number of async allocation requests still waiting for nodes."""
+        return len(self._alloc_waiters)
+
+    def free_nodes(self) -> list[Node]:
+        """Compute nodes not currently granted to any allocation."""
+        return [n for n in self.cluster.compute
+                if n.name not in self._allocated]
+
     def allocate(self, n_nodes: int) -> Allocation:
-        """Grant ``n_nodes`` free compute nodes (deterministic order)."""
-        free = [n for n in self.cluster.compute if n.name not in self._allocated]
+        """Grant ``n_nodes`` free compute nodes immediately (deterministic
+        order), or raise :class:`AllocationError` if too few are free.
+
+        This is the synchronous path. It refuses to overtake requests
+        already waiting in the async queue -- otherwise a steady stream of
+        sync callers could starve a queued session forever. Callers that
+        want to *block on* contention instead of failing use
+        :meth:`allocate_async`.
+        """
+        if self._alloc_waiters:
+            raise AllocationError(
+                f"{self.name}: {len(self._alloc_waiters)} request(s) already "
+                f"queued ahead; use allocate_async to wait in line")
+        free = self.free_nodes()
         if len(free) < n_nodes:
-            raise RMError(
+            raise AllocationError(
                 f"{self.name}: requested {n_nodes} nodes, only "
                 f"{len(free)} free of {len(self.cluster.compute)}")
-        granted = free[:n_nodes]
-        for n in granted:
-            self._allocated.add(n.name)
-        return Allocation(alloc_id=next(self._alloc_ids), nodes=granted)
+        return self._grant(free[:n_nodes])
+
+    def allocate_async(self, n_nodes: int) -> Generator[Any, Any, Allocation]:
+        """Queue for ``n_nodes`` nodes; a generator that waits under contention.
+
+        Requests are granted strictly FIFO (head-of-line blocking, so a
+        large request cannot starve behind a stream of small ones). When the
+        nodes are free the grant happens without any virtual time passing;
+        otherwise the caller suspends until enough :meth:`release` calls
+        arrive. Requests larger than the whole cluster raise
+        :class:`AllocationError` up front -- they could never be satisfied.
+        """
+        if n_nodes > len(self.cluster.compute):
+            raise AllocationError(
+                f"{self.name}: requested {n_nodes} nodes, cluster has only "
+                f"{len(self.cluster.compute)}")
+        grant = Event(self.sim)
+        entry = (n_nodes, grant, self.sim.now)
+        self._alloc_waiters.append(entry)
+        self.alloc_queue_peak = max(self.alloc_queue_peak,
+                                    len(self._alloc_waiters))
+        self._pump_alloc_queue()
+        try:
+            alloc = yield grant
+        except BaseException:
+            # requester aborted while queued (or right as the grant fired):
+            # withdraw the request / return the nodes so the queue cannot
+            # hold entries nobody will ever consume
+            try:
+                self._alloc_waiters.remove(entry)
+            except ValueError:
+                if grant.triggered:
+                    self.release(grant.value)
+            else:
+                # the withdrawn entry may have been blocking the head of
+                # the FIFO; requests behind it might now fit
+                self._pump_alloc_queue()
+            raise
+        return alloc
 
     def release(self, alloc: Allocation) -> None:
         for n in alloc.nodes:
             self._allocated.discard(n.name)
+        self._pump_alloc_queue()
+
+    def _grant(self, nodes: list[Node]) -> Allocation:
+        for n in nodes:
+            self._allocated.add(n.name)
+        return Allocation(alloc_id=next(self._alloc_ids), nodes=nodes)
+
+    def _pump_alloc_queue(self) -> None:
+        """Grant queued async requests while the head request fits."""
+        while self._alloc_waiters:
+            n_nodes, grant, t_req = self._alloc_waiters[0]
+            free = self.free_nodes()
+            if len(free) < n_nodes:
+                return
+            self._alloc_waiters.popleft()
+            self.alloc_waits.append(self.sim.now - t_req)
+            grant.succeed(self._grant(free[:n_nodes]))
 
     # -- service interface (platform-specific) -------------------------------
     def launcher_executable(self) -> str:

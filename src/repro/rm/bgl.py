@@ -4,7 +4,9 @@ Section 4 reports that LaunchMON's own overheads were similar on BG/L but
 the RM's T(job) and T(daemon) were *significantly higher* -- mpirun's
 spawning services were slower, prompting work with IBM. We model that as
 the same protocol with scaled cost constants (and no rshd on compute nodes,
-the defining MPP restriction from Section 2).
+the defining MPP restriction from Section 2). Allocation -- immediate or
+queued via :meth:`~repro.rm.base.ResourceManager.allocate_async` -- follows
+the base RM's FIFO discipline.
 """
 
 from __future__ import annotations

@@ -6,6 +6,11 @@ daemon-launch command and no tool fabric. ``spawn_daemons`` raises
 :class:`~repro.rm.base.UnsupportedOperation`; job launch itself falls back
 to a sequential rsh loop. LaunchMON cannot run its efficient path here,
 which is the portability gap the paper's abstraction closes on real RMs.
+
+Even a bare scheduler still arbitrates nodes: the FIFO allocation queue
+(:meth:`~repro.rm.base.ResourceManager.allocate_async`) is inherited from
+the base RM, so concurrent tool sessions queue for nodes here exactly as
+they do under SLURM or BG/L mpirun.
 """
 
 from __future__ import annotations

@@ -13,6 +13,11 @@ notes this property arose from the authors' interactions with SLURM
 developers), so LaunchMON's tracing cost is the constant ~18 ms of Figure 3.
 ``SlurmConfig(legacy_events=True)`` restores the older one-event-per-task
 behaviour for the ablation experiment.
+
+Node allocation (both the immediate :meth:`~repro.rm.base.ResourceManager.allocate`
+and the queued :meth:`~repro.rm.base.ResourceManager.allocate_async` used by
+multi-tenant tool services) is inherited unchanged from the base RM: SLURM's
+controller hands out nodes FIFO under contention.
 """
 
 from __future__ import annotations
@@ -233,7 +238,25 @@ class SlurmRM(ResourceManager):
 
         workers = [sim.process(_spawn_one(i, node), name=f"spawn:{node.name}")
                    for i, node in enumerate(nodes)]
-        yield sim.all_of(workers)
+        try:
+            yield sim.all_of(workers)
+        except BaseException:
+            # abort the set: stop in-flight spawners, reap daemons already
+            # forked, retire the transient launcher -- a failed spawn must
+            # not leave orphan processes squatting on the nodes
+            for w in workers:
+                # defuse every worker: a sibling that failed at the same
+                # instant is already dead but its failure event would
+                # otherwise crash the whole simulator run
+                w.defuse()
+                if w.is_alive:
+                    w.interrupt("daemon spawn aborted")
+            for p in procs:
+                if p is not None and p.alive:
+                    p.exit(9)
+            if launcher.alive:
+                launcher.exit(9)
+            raise
 
         topo = TreeTopology.make(n, topology or cfg.iccl_topology)
         fabric = ICCLFabric(

@@ -98,6 +98,16 @@ class Event:
             raise self._exc
         return self._value
 
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure this event triggered with, or None."""
+        return self._exc
+
+    def defuse(self) -> None:
+        """Mark this event's failure as observed, so an unhandled failure
+        does not crash the simulator run (see class docstring)."""
+        self._defused = True
+
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
@@ -305,6 +315,11 @@ class _Condition(Event):
     def _on_child(self, ev: Event) -> None:
         self._remaining -= 1
         if self.triggered:
+            # the condition has already fired (e.g. fail-fast on a sibling),
+            # but this child's failure is still *observed* by the condition:
+            # defuse it so two same-instant failures cannot crash the run
+            if ev._exc is not None:
+                ev._defused = True
             return
         if ev._exc is not None:
             ev._defused = True

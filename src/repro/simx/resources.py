@@ -38,6 +38,11 @@ class Resource:
     def available(self) -> int:
         return self.capacity - self._in_use
 
+    @property
+    def pending(self) -> int:
+        """Number of requests still waiting for a slot."""
+        return len(self._waiters)
+
     def request(self) -> Event:
         """Blocking acquire: event triggers when a slot becomes free."""
         ev = Event(self.sim)
@@ -46,6 +51,22 @@ class Resource:
         else:
             self._waiters.append(ev)
         return ev
+
+    def cancel(self, ev: Event) -> None:
+        """Withdraw a pending ``request()`` (e.g. the requester was
+        interrupted while waiting).
+
+        If the request is still queued it is removed; if it was already
+        granted, the slot is released back -- either way the resource's
+        accounting stays balanced even though the requester never proceeds.
+        """
+        try:
+            self._waiters.remove(ev)
+            return
+        except ValueError:
+            pass
+        if ev.triggered:  # granted before (or while) the cancel arrived
+            self.release()
 
     def try_request(self) -> bool:
         """Non-blocking acquire. True on success, False if at capacity."""

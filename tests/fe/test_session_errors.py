@@ -1,0 +1,178 @@
+"""Session-state error paths: misuse of the FE API fails loudly and early.
+
+Covers the satellite checklist: ``require_state`` violations, ``kill()``
+without an engine, data transfer before daemons are ready
+(``_require_stream``), and double-``launch_and_spawn`` on one session.
+"""
+
+import pytest
+
+from repro.apps import make_compute_app
+from repro.be import BackEnd
+from repro.fe import FrontEndError, SessionState, ToolFrontEnd
+from repro.rm import DaemonSpec
+from repro.runner import drive, make_env
+
+
+def _daemon(ctx):
+    be = BackEnd(ctx)
+    yield from be.init()
+    yield from be.ready()
+    yield from be.finalize()
+
+
+SPEC = DaemonSpec("errd", main=_daemon, image_mb=1.0)
+
+
+def _fresh(n_compute=4):
+    env = make_env(n_compute=n_compute)
+    fe = ToolFrontEnd(env.cluster, env.rm, "err")
+    return env, fe
+
+
+class TestRequireState:
+    def test_require_state_raises_with_context(self):
+        _env, fe = _fresh()
+        s = fe.create_session()
+        s.state = SessionState.KILLED
+        with pytest.raises(RuntimeError, match="needs one of"):
+            s.require_state(SessionState.CREATED)
+
+    def test_launch_on_detached_session_rejected(self):
+        env, fe = _fresh()
+        s = fe.create_session()
+        s.state = SessionState.DETACHED
+        app = make_compute_app(n_tasks=8, tasks_per_node=2)
+
+        def tool(env):
+            yield from fe.launch_and_spawn(s, app, SPEC)
+
+        with pytest.raises(RuntimeError, match="detached"):
+            drive(env, tool(env))
+
+    def test_mw_launch_requires_ready(self):
+        env, fe = _fresh()
+        s = fe.create_session()  # still CREATED
+
+        def tool(env):
+            yield from fe.launch_mw_daemons(s, SPEC, 2)
+
+        with pytest.raises(RuntimeError, match="needs one of"):
+            drive(env, tool(env))
+
+
+class TestKillWithoutEngine:
+    def test_kill_raises_frontenderror(self):
+        env, fe = _fresh()
+        s = fe.create_session()
+
+        def tool(env):
+            yield from fe.kill(s)
+
+        with pytest.raises(FrontEndError, match="no engine"):
+            drive(env, tool(env))
+
+    def test_session_state_unchanged_after_failed_kill(self):
+        env, fe = _fresh()
+        s = fe.create_session()
+
+        def tool(env):
+            yield from fe.kill(s)
+
+        with pytest.raises(FrontEndError):
+            drive(env, tool(env))
+        assert s.state is SessionState.CREATED
+
+
+class TestStreamsBeforeReady:
+    @pytest.mark.parametrize("op,stream", [
+        ("send_usrdata_be", "be_stream"),
+        ("recv_usrdata_be", "be_stream"),
+        ("send_usrdata_mw", "mw_stream"),
+        ("recv_usrdata_mw", "mw_stream"),
+    ])
+    def test_usrdata_before_daemons_ready(self, op, stream):
+        env, fe = _fresh()
+        s = fe.create_session()
+        args = (s, {"x": 1}) if op.startswith("send") else (s,)
+
+        def tool(env):
+            yield from getattr(fe, op)(*args)
+
+        with pytest.raises(FrontEndError, match=stream):
+            drive(env, tool(env))
+
+
+class TestTerminalStates:
+    def test_detach_on_terminal_session_rejected(self):
+        env, fe = _fresh()
+        s = fe.create_session()
+        s.state = SessionState.KILLED
+
+        def tool(env):
+            yield from fe.detach(s)
+
+        with pytest.raises(RuntimeError, match="needs one of"):
+            drive(env, tool(env))
+        assert s.state is SessionState.KILLED  # no resurrection
+
+    def test_double_detach_rejected(self):
+        env, fe = _fresh(n_compute=4)
+        app = make_compute_app(n_tasks=8, tasks_per_node=2)
+
+        def tool(env):
+            yield from fe.init()
+            s = fe.create_session()
+            yield from fe.launch_and_spawn(s, app, SPEC)
+            yield from fe.detach(s)
+            yield from fe.detach(s)
+
+        with pytest.raises(RuntimeError, match="state detached"):
+            drive(env, tool(env))
+
+    def test_detach_on_created_session_rejected(self):
+        env, fe = _fresh()
+        s = fe.create_session()  # never launched
+
+        def tool(env):
+            yield from fe.detach(s)
+
+        with pytest.raises(RuntimeError, match="needs one of"):
+            drive(env, tool(env))
+        assert s.state is SessionState.CREATED
+
+
+class TestDoubleLaunch:
+    def test_second_launch_on_same_session_rejected(self):
+        env, fe = _fresh(n_compute=4)
+        app = make_compute_app(n_tasks=8, tasks_per_node=2)
+        s = fe.create_session()
+
+        def tool(env):
+            yield from fe.init()
+            yield from fe.launch_and_spawn(s, app, SPEC)
+            # session is READY now; a second launch must be refused
+            yield from fe.launch_and_spawn(s, app, SPEC)
+
+        with pytest.raises(RuntimeError, match="state .*ready"):
+            drive(env, tool(env))
+        assert s.state is SessionState.READY
+
+    def test_fresh_session_on_same_fe_still_works(self):
+        env, fe = _fresh(n_compute=4)
+        app = make_compute_app(n_tasks=4, tasks_per_node=2)
+        done = {}
+
+        def tool(env):
+            yield from fe.init()
+            s1 = fe.create_session()
+            yield from fe.launch_and_spawn(s1, app, SPEC)
+            yield from fe.detach(s1)
+            s2 = fe.create_session()
+            yield from fe.launch_and_spawn(s2, app, SPEC)
+            yield from fe.detach(s2)
+            done["states"] = (s1.state, s2.state)
+
+        drive(env, tool(env))
+        assert done["states"] == (SessionState.DETACHED,
+                                  SessionState.DETACHED)

@@ -1,0 +1,189 @@
+"""The RM allocation queue: typed errors, FIFO waits, release wakeups."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.rm import AllocationError, RMError, SlurmRM
+from repro.simx import Simulator
+
+
+@pytest.fixture
+def rm(sim):
+    cluster = Cluster(sim, ClusterSpec(n_compute=8, seed=3))
+    return SlurmRM(cluster)
+
+
+class TestAllocateSync:
+    def test_insufficient_free_nodes_raises_typed_error(self, rm):
+        rm.allocate(6)
+        with pytest.raises(AllocationError, match="only 2 free of 8"):
+            rm.allocate(3)
+
+    def test_allocation_error_is_an_rm_error(self):
+        # existing callers catching RMError keep working
+        assert issubclass(AllocationError, RMError)
+
+    def test_release_returns_nodes(self, rm):
+        a = rm.allocate(8)
+        rm.release(a)
+        assert len(rm.allocate(8)) == 8
+
+
+class TestAllocateAsync:
+    def test_grant_without_contention_is_instant(self, sim, rm):
+        out = {}
+
+        def requester(sim):
+            alloc = yield from rm.allocate_async(4)
+            out["alloc"] = alloc
+            out["t"] = sim.now
+
+        sim.process(requester(sim))
+        sim.run()
+        assert len(out["alloc"]) == 4
+        assert out["t"] == 0.0
+        assert rm.alloc_waits == [0.0]
+
+    def test_oversized_request_fails_fast(self, sim, rm):
+        def requester(sim):
+            yield from rm.allocate_async(9)
+
+        proc = sim.process(requester(sim))
+        with pytest.raises(AllocationError, match="cluster has only"):
+            sim.run()
+        assert proc.triggered
+
+    def test_waits_until_release(self, sim, rm):
+        held = rm.allocate(8)
+        out = {}
+
+        def requester(sim):
+            alloc = yield from rm.allocate_async(4)
+            out["t_granted"] = sim.now
+            out["alloc"] = alloc
+
+        def releaser(sim):
+            yield sim.timeout(2.5)
+            rm.release(held)
+
+        sim.process(requester(sim))
+        sim.process(releaser(sim))
+        sim.run()
+        assert out["t_granted"] == 2.5
+        assert rm.alloc_waits == [2.5]
+        assert rm.alloc_queue_peak == 1
+
+    def test_fifo_no_starvation_of_large_request(self, sim, rm):
+        """A big request at the head is not starved by later small ones."""
+        held = rm.allocate(6)  # 2 free
+        order = []
+
+        def requester(name, n, delay):
+            def gen(sim):
+                yield sim.timeout(delay)
+                yield from rm.allocate_async(n)
+                order.append((name, sim.now))
+            return gen
+
+        # big arrives first (t=0.1), small second (t=0.2); 2 nodes are free
+        # the whole time but FIFO keeps the small request behind the big one
+        sim.process(requester("big", 6, 0.1)(sim))
+        sim.process(requester("small", 2, 0.2)(sim))
+
+        def releaser(sim):
+            yield sim.timeout(1.0)
+            rm.release(held)
+
+        sim.process(releaser(sim))
+        sim.run()
+        assert [name for name, _ in order] == ["big", "small"]
+        assert order[0][1] == 1.0
+        assert rm.alloc_queue_peak == 2
+
+    def test_sync_allocate_cannot_overtake_queue(self, sim, rm):
+        """allocate() refuses to jump ahead of queued async requests."""
+        held = rm.allocate(8)
+
+        def requester(sim):
+            alloc = yield from rm.allocate_async(4)
+            return alloc
+
+        sim.process(requester(sim))
+        sim.run()  # requester is now queued, nothing released yet
+        rm.release(held)  # grants the queued request, 4 nodes remain free
+
+        def late_sync(sim):
+            yield sim.timeout(0.1)
+
+        # queue is drained, sync path works again
+        sim.process(late_sync(sim))
+        sim.run()
+        assert len(rm.allocate(4)) == 4
+
+    def test_sync_allocate_raises_while_requests_queued(self, sim, rm):
+        held = rm.allocate(8)
+
+        def requester(sim):
+            yield from rm.allocate_async(2)
+
+        sim.process(requester(sim))
+        sim.run()
+        with pytest.raises(AllocationError, match="queued ahead"):
+            rm.allocate(1)
+        rm.release(held)
+
+    def test_aborted_head_request_unblocks_the_queue(self, sim, rm):
+        """Withdrawing a blocking head-of-line request re-pumps the queue
+        so smaller requests behind it are granted."""
+        from repro.simx import Interrupt
+        rm.allocate(6)  # 2 free
+        out = {}
+
+        def big(sim):
+            try:
+                yield from rm.allocate_async(4)  # head: cannot fit
+            except Interrupt:
+                out["big"] = "aborted"
+                return
+
+        def small(sim):
+            yield sim.timeout(0.1)
+            alloc = yield from rm.allocate_async(2)  # fits, behind big
+            out["small_granted_at"] = sim.now
+            return alloc
+
+        p_big = sim.process(big(sim))
+
+        def aborter(sim):
+            yield sim.timeout(1.0)
+            p_big.interrupt("cancelled")
+
+        sim.process(small(sim))
+        sim.process(aborter(sim))
+        sim.run()
+        assert out["big"] == "aborted"
+        assert out["small_granted_at"] == 1.0
+        assert not rm._alloc_waiters
+
+    def test_multiple_waiters_drain_in_order(self, sim, rm):
+        held = rm.allocate(8)
+        grants = []
+
+        def requester(i):
+            def gen(sim):
+                yield sim.timeout(0.01 * (i + 1))  # arrival order 0,1,2,3
+                yield from rm.allocate_async(2)
+                grants.append(i)
+            return gen
+
+        for i in range(4):
+            sim.process(requester(i)(sim))
+
+        def releaser(sim):
+            yield sim.timeout(1.0)
+            rm.release(held)  # all 8 nodes at once -> all four fit
+
+        sim.process(releaser(sim))
+        sim.run()
+        assert grants == [0, 1, 2, 3]
+        assert len(rm.alloc_waits) == 4
