@@ -1,0 +1,111 @@
+"""Launch-matrix bench: strategy x staging-mode totals and phase breakdown.
+
+Sweeps the unified launch layer (serial-rsh / tree-rsh / rm-bulk) against
+the storage layer's staging modes (shared-fs / cache / broadcast) and
+asserts the headline scaling claims: at 512 daemons cooperative broadcast
+staging beats serial shared-FS staging outright, and the per-phase
+breakdown attributes the win to the image-stage phase; per-node caches make
+warm relaunches skip the filesystem. Under pytest-benchmark the series
+lands in ``extra_info`` (JSON via ``--benchmark-json``); run the file
+directly for plain JSON on stdout:
+
+    PYTHONPATH=src python benchmarks/bench_launch_matrix.py [--quick]
+"""
+
+import json
+import sys
+
+import pytest
+
+from repro.experiments.launchmatrix import (
+    DAEMON_IMAGE_MB,
+    measure_launch_cell,
+    run_launch_matrix,
+)
+
+DAEMON_COUNTS = (64, 256, 512)
+QUICK_COUNTS = (16, 64)
+
+
+def launch_matrix_series(daemon_counts=DAEMON_COUNTS,
+                         image_mb=DAEMON_IMAGE_MB):
+    """The benchmark's payload as a JSON-able dict."""
+    result = run_launch_matrix(daemon_counts=daemon_counts,
+                               image_mb=image_mb)
+    return {
+        "config": {
+            "daemon_counts": list(daemon_counts),
+            "image_mb": image_mb,
+        },
+        "series": [
+            {
+                "daemons": row["daemons"],
+                "strategy": row["strategy"],
+                "staging": row["staging"],
+                "total_s": round(row["total"], 4),
+                "t_spawn_s": round(row["t_spawn"], 4),
+                "t_image_stage_s": round(row["t_image_stage"], 4),
+                "warm_total_s": round(row["warm_total"], 4),
+            }
+            for row in result.rows
+        ],
+        "notes": result.notes,
+    }
+
+
+def _cell(payload, daemons, strategy, staging):
+    for row in payload["series"]:
+        if (row["daemons"] == daemons and row["strategy"] == strategy
+                and row["staging"] == staging):
+            return row
+    raise KeyError((daemons, strategy, staging))
+
+
+@pytest.mark.benchmark(group="launchmatrix")
+def bench_launch_matrix_sweep(benchmark):
+    """Full matrix; asserts the broadcast-vs-serial staging claim at 512."""
+    payload = benchmark.pedantic(launch_matrix_series, rounds=1, iterations=1)
+    for row in payload["series"]:
+        key = f"{row['strategy']}/{row['staging']}@{row['daemons']}"
+        benchmark.extra_info[f"total:{key}"] = row["total_s"]
+        benchmark.extra_info[f"stage:{key}"] = row["t_image_stage_s"]
+
+    sf = _cell(payload, 512, "rm-bulk", "shared-fs")
+    bc = _cell(payload, 512, "rm-bulk", "broadcast")
+    # broadcast staging strictly faster than serial shared-FS staging...
+    assert bc["total_s"] < sf["total_s"]
+    # ...with the win attributed to the image-stage phase
+    win = sf["total_s"] - bc["total_s"]
+    stage_win = sf["t_image_stage_s"] - bc["t_image_stage_s"]
+    assert stage_win > 0
+    assert stage_win >= 0.8 * win
+    # the spawn phase is mechanism-bound, not staging-bound
+    assert bc["t_spawn_s"] == pytest.approx(sf["t_spawn_s"], rel=0.25)
+    # shared-FS staging is the linear term: ~4x from 128->512 equivalents
+    sf_256 = _cell(payload, 256, "rm-bulk", "shared-fs")
+    assert sf["t_image_stage_s"] > 1.5 * sf_256["t_image_stage_s"]
+    # per-node caches: warm relaunch skips the filesystem
+    cache = _cell(payload, 512, "rm-bulk", "cache")
+    assert cache["warm_total_s"] < 0.25 * cache["total_s"]
+
+
+@pytest.mark.benchmark(group="launchmatrix")
+@pytest.mark.parametrize("staging", ["shared-fs", "broadcast"])
+def bench_launch_matrix_single_cell_256(benchmark, staging):
+    """Wall-clock cost of one rm-bulk cell; records the virtual totals."""
+    cell = benchmark.pedantic(
+        measure_launch_cell, args=("rm-bulk", staging, 256),
+        rounds=1, iterations=1)
+    benchmark.extra_info["virtual_total_s"] = round(cell["total"], 4)
+    benchmark.extra_info["virtual_stage_s"] = round(cell["t_image_stage"], 4)
+    assert cell["total"] > 0
+
+
+def main(argv=None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    counts = QUICK_COUNTS if "--quick" in argv else DAEMON_COUNTS
+    print(json.dumps(launch_matrix_series(daemon_counts=counts), indent=2))
+
+
+if __name__ == "__main__":
+    main()

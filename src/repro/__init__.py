@@ -13,6 +13,13 @@ Figure 5, Figure 6 and Table 1, and a multi-tenant scaling study
 (``repro.experiments.multitenant``) built on the non-blocking
 :class:`ToolService` / :class:`SessionHandle` API.
 
+Every launch path routes through the unified strategy layer
+(:mod:`repro.launch`: ``serial-rsh`` / ``tree-rsh`` / ``rm-bulk``, each
+producing a per-phase :class:`LaunchReport`), and daemon images reach the
+nodes through the storage layer's staging modes
+(:class:`ClusterSpec.staging_mode`: ``shared-fs`` / ``cache`` /
+``broadcast`` -- see ``repro.experiments.launchmatrix`` for the sweep).
+
 Quick start (blocking, single tool)::
 
     from repro import make_env, drive, ToolFrontEnd
@@ -59,6 +66,7 @@ from repro.rm import (
     SlurmRM,
 )
 from repro.cluster import Cluster, ClusterSpec, CostModel
+from repro.launch import LaunchReport, LaunchRequest, LaunchStrategy, get_strategy
 from repro.apps import AppSpec, make_compute_app, make_hang_app, make_io_heavy_app
 
 __version__ = "1.1.0"
@@ -74,6 +82,9 @@ __all__ = [
     "CostModel",
     "DaemonSpec",
     "LMONSession",
+    "LaunchReport",
+    "LaunchRequest",
+    "LaunchStrategy",
     "MWContext",
     "Middleware",
     "ResourceManager",
@@ -88,6 +99,7 @@ __all__ = [
     "ToolService",
     "drive",
     "drive_many",
+    "get_strategy",
     "make_env",
     "make_service_env",
     "make_compute_app",

@@ -1,12 +1,27 @@
-"""Sequential and tree-based rsh daemon launchers."""
+"""Sequential and tree-based rsh daemon launchers.
+
+These are thin, source-compatible fronts over the unified strategy layer
+(:mod:`repro.launch`): ``sequential_rsh_launch`` drives
+:class:`~repro.launch.SerialRshStrategy` and ``tree_rsh_launch`` drives
+:class:`~repro.launch.TreeRshStrategy`. The historical
+:class:`AdHocResult` shape is preserved for callers; the underlying
+:class:`~repro.launch.LaunchReport` (per-phase timing) rides along as
+``AdHocResult.report``.
+"""
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
-from repro.cluster import Cluster, ForkError, Node, RemoteExecError, SimProcess
+from repro.cluster import Cluster, Node, SimProcess
+from repro.launch import (
+    LaunchReport,
+    LaunchRequest,
+    LaunchResult,
+    SerialRshStrategy,
+    TreeRshStrategy,
+)
 
 __all__ = ["AdHocResult", "sequential_rsh_launch", "tree_rsh_launch"]
 
@@ -21,46 +36,48 @@ class AdHocResult:
     failed: bool = False
     failure: str = ""
     elapsed: float = 0.0
+    #: the strategy layer's per-phase timing breakdown
+    report: Optional[LaunchReport] = None
 
     @property
     def n_spawned(self) -> int:
         return len(self.spawned)
+
+    @classmethod
+    def from_launch(cls, mechanism: str, result: LaunchResult,
+                    ) -> "AdHocResult":
+        rep = result.report
+        return cls(mechanism=mechanism, requested=rep.requested,
+                   spawned=list(result.procs), failed=rep.failed,
+                   failure=rep.failure, elapsed=rep.total, report=rep)
 
 
 def sequential_rsh_launch(cluster: Cluster, nodes: list[Node],
                           executable: str = "toold",
                           image_mb: float = 4.0,
                           hold_clients: bool = True,
+                          stage_images: bool = False,
                           ) -> Generator[Any, Any, AdHocResult]:
     """The most common ad-hoc practice: one rsh per daemon, in a loop.
 
     With ``hold_clients`` (the MRNet behaviour) each rsh client stays alive
     on the front end, so the launch eventually exhausts the front end's
-    process table instead of merely being slow.
+    process table instead of merely being slow. ``stage_images`` routes the
+    daemon image through the storage layer's staging mode (off by default:
+    the classic ad-hoc model pays rsh costs only).
     """
-    sim = cluster.sim
-    fe = cluster.front_end
-    result = AdHocResult("sequential-rsh", requested=len(nodes))
-    t0 = sim.now
-    for node in nodes:
-        try:
-            _client, proc = yield from fe.rsh_spawn(
-                node, executable, image_mb=image_mb,
-                hold_client=hold_clients)
-        except (ForkError, RemoteExecError) as exc:
-            result.failed = True
-            result.failure = str(exc)
-            result.elapsed = sim.now - t0
-            return result
-        result.spawned.append(proc)
-    result.elapsed = sim.now - t0
-    return result
+    result = yield from SerialRshStrategy().launch(LaunchRequest(
+        cluster=cluster, nodes=nodes, executable=executable,
+        image_mb=image_mb, hold_clients=hold_clients,
+        stage_images=stage_images))
+    return AdHocResult.from_launch("sequential-rsh", result)
 
 
 def tree_rsh_launch(cluster: Cluster, nodes: list[Node],
                     executable: str = "toold",
                     image_mb: float = 4.0,
                     fanout: int = 8,
+                    stage_images: bool = False,
                     ) -> Generator[Any, Any, AdHocResult]:
     """Tree-based ad-hoc protocol: spawned daemons spawn children daemons.
 
@@ -69,38 +86,7 @@ def tree_rsh_launch(cluster: Cluster, nodes: list[Node],
     rshd on the compute nodes, manual placement, and a manual protocol for
     daemons to find their children.
     """
-    sim = cluster.sim
-    fe = cluster.front_end
-    result = AdHocResult(f"tree-rsh(f={fanout})", requested=len(nodes))
-    t0 = sim.now
-    failure: list[str] = []
-
-    def spawn_subtree(src: Node, targets: list[Node]):
-        """rsh the first target from src; it spawns its subtree slices."""
-        if not targets or failure:
-            return
-        head, rest = targets[0], targets[1:]
-        try:
-            _client, proc = yield from src.rsh_spawn(
-                head, executable, image_mb=image_mb, hold_client=False)
-        except (ForkError, RemoteExecError) as exc:
-            failure.append(str(exc))
-            return
-        result.spawned.append(proc)
-        if not rest:
-            return
-        # split the remainder into fanout slices handled in parallel
-        slices = [rest[i::fanout] for i in range(min(fanout, len(rest)))]
-        procs = [sim.process(spawn_subtree(head, s), name="tree-rsh")
-                 for s in slices if s]
-        yield sim.all_of(procs)
-
-    roots = [nodes[i::fanout] for i in range(min(fanout, len(nodes)))]
-    top = [sim.process(spawn_subtree(fe, s), name="tree-rsh-root")
-           for s in roots if s]
-    yield sim.all_of(top)
-    if failure:
-        result.failed = True
-        result.failure = failure[0]
-    result.elapsed = sim.now - t0
-    return result
+    result = yield from TreeRshStrategy().launch(LaunchRequest(
+        cluster=cluster, nodes=nodes, executable=executable,
+        image_mb=image_mb, fanout=fanout, stage_images=stage_images))
+    return AdHocResult.from_launch(f"tree-rsh(f={fanout})", result)

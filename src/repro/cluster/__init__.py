@@ -11,9 +11,11 @@ reproduce the substrate as a deterministic discrete-event model:
   VmHWM, VmLck, utime/stime, major faults).
 * :class:`Network` -- latency + bandwidth message timing, TCP connect costs,
   duplex :class:`Pipe` construction between nodes.
-* :class:`SharedFilesystem` -- a contended parallel-FS model: loading a
-  daemon's executable image serializes on FS bandwidth, reproducing the
-  binary-loading storms that dominate heavyweight tool daemon startup.
+* :class:`SharedFilesystem` -- the image storage layer: a contended
+  parallel-FS model (loading a daemon's executable image serializes on FS
+  bandwidth, reproducing the binary-loading storms that dominate heavyweight
+  tool daemon startup) plus per-node image caches and cooperative broadcast
+  staging (``ClusterSpec.staging_mode``).
 * :class:`Cluster` -- front-end node + compute nodes + network, built from a
   :class:`ClusterSpec`.
 
@@ -26,13 +28,21 @@ from repro.cluster.costs import CostModel
 from repro.cluster.process import ProcState, ProcStats, SimProcess, DebugEvent, DebugEventType
 from repro.cluster.node import ForkError, Node, RemoteExecError
 from repro.cluster.network import Network, Pipe
-from repro.cluster.cluster import Cluster, ClusterSpec, SharedFilesystem
+from repro.cluster.cluster import (
+    Cluster,
+    ClusterSpec,
+    STAGING_MODES,
+    SharedFilesystem,
+    StagingError,
+)
 from repro.cluster import procfs
 
 __all__ = [
     "Cluster",
     "ClusterSpec",
     "CostModel",
+    "STAGING_MODES",
+    "StagingError",
     "DebugEvent",
     "DebugEventType",
     "ForkError",

@@ -81,6 +81,30 @@ class CostModel:
     #: open/metadata cost per image load
     fs_open: float = 0.0003
 
+    # -- image staging (node caches & cooperative broadcast) -------------------
+    #: serving one image from a warm node-local cache (page-cache read)
+    cache_hit: float = 0.0002
+    #: fan-out of the cooperative broadcast distribution tree
+    bcast_fanout: int = 2
+    #: per-hop software overhead of one cooperative-broadcast transfer
+    bcast_hop_overhead: float = 0.0004
+
+    # -- executable image footprints (MB) ---------------------------------------
+    # The sizes every launch path loads; kept here (not as call-site literals)
+    # so experiments can sweep them from one place.
+    #: tool front-end runtime binary + libraries
+    fe_image_mb: float = 4.0
+    #: the LaunchMON engine process image
+    engine_image_mb: float = 3.0
+    #: RM native launcher (srun / mpirun)
+    launcher_image_mb: float = 2.0
+    #: bare mpirun-rsh fallback launcher on RM-less clusters
+    rsh_launcher_image_mb: float = 1.0
+    #: one rsh/ssh client process
+    rsh_client_image_mb: float = 0.5
+    #: default tool daemon image when a spec does not override it
+    daemon_image_mb: float = 4.0
+
     def scaled(self, **factors: float) -> "CostModel":
         """Return a copy with named fields multiplied by the given factors.
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from repro.apps import AppSpec
-from repro.cluster import Cluster, SimProcess
+from repro.cluster import Cluster, CostModel, SimProcess
 from repro.engine.decoder import EventDecoder
 from repro.engine.events import LMONEvent, LMONEventType
 from repro.engine.handlers import EventHandlerTable
@@ -32,7 +32,9 @@ __all__ = ["ENGINE_EXECUTABLE", "ENGINE_IMAGE_MB", "EngineError",
 
 #: identity of the engine process; shared with the FE's engine-reuse path
 ENGINE_EXECUTABLE = "launchmon-engine"
-ENGINE_IMAGE_MB = 3.0
+#: back-compat alias for the default engine footprint; the live value is
+#: the cluster's CostModel.engine_image_mb (this cannot drift from it)
+ENGINE_IMAGE_MB = CostModel().engine_image_mb
 
 
 class EngineError(RuntimeError):
@@ -79,7 +81,7 @@ class LaunchMONEngine:
             self.proc = proc
             return
         self.proc = yield from self.cluster.front_end.fork_exec(
-            ENGINE_EXECUTABLE, image_mb=ENGINE_IMAGE_MB)
+            ENGINE_EXECUTABLE, image_mb=self.cluster.costs.engine_image_mb)
 
     # -- launch mode ------------------------------------------------------------
     def launch_and_spawn(self, app: AppSpec, alloc: Allocation,

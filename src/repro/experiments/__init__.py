@@ -14,6 +14,7 @@ A2        ablation: ICCL topology (flat vs binomial vs k-ary)
 A3        ablation: launcher mechanisms (rsh-seq, rsh-tree, RM)
 A4        extension: Jobsnap collection over a TBON (paper future work)
 mt        extension: multi-tenant ToolService throughput + latency sweep
+lmx       extension: launch strategy x image-staging matrix (per-phase)
 ========  ==========================================================
 
 Run from the command line: ``python -m repro.experiments fig3`` (or the
@@ -22,6 +23,7 @@ installed ``repro-experiments`` script). ``--quick`` shrinks sweeps for CI.
 
 from repro.experiments.common import ExperimentResult, percentile
 from repro.experiments.fig3 import run_fig3
+from repro.experiments.launchmatrix import run_launch_matrix
 from repro.experiments.multitenant import run_multitenant
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
@@ -42,6 +44,7 @@ __all__ = [
     "run_fig3",
     "run_fig5",
     "run_fig6",
+    "run_launch_matrix",
     "run_multitenant",
     "run_table1",
     "percentile",

@@ -13,6 +13,7 @@ from repro.experiments import (
     run_fig3,
     run_fig5,
     run_fig6,
+    run_launch_matrix,
     run_multitenant,
     run_table1,
 )
@@ -30,6 +31,7 @@ QUICK_SWEEPS = {
     "A4": dict(daemon_counts=(64,)),
     "mt": dict(tenant_counts=(1, 4, 8), n_compute=32,
                nodes_per_session=4),
+    "lmx": dict(daemon_counts=(16, 64)),
 }
 
 RUNNERS = {
@@ -42,6 +44,7 @@ RUNNERS = {
     "A3": run_ablation_launchers,
     "A4": run_ablation_jobsnap_tbon,
     "mt": run_multitenant,
+    "lmx": run_launch_matrix,
 }
 
 

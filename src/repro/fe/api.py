@@ -47,7 +47,7 @@ from repro.apps import AppSpec
 from repro.be.context import BEContext
 from repro.cluster import Cluster, SimProcess
 from repro.engine import LaunchMONEngine
-from repro.engine.driver import ENGINE_EXECUTABLE, ENGINE_IMAGE_MB
+from repro.engine.driver import ENGINE_EXECUTABLE
 from repro.fe.session import LMONSession, SessionState
 from repro.lmonp import (
     FeToBe,
@@ -96,7 +96,7 @@ class ToolFrontEnd:
     def init(self) -> Generator[Any, Any, None]:
         """``LMON_fe_init``: start the front-end runtime process."""
         self.proc = yield from self.cluster.front_end.fork_exec(
-            f"{self.tool_name}-fe", image_mb=4.0)
+            f"{self.tool_name}-fe", image_mb=self.cluster.costs.fe_image_mb)
 
     def create_session(self) -> LMONSession:
         """``LMON_fe_createSession``: allocate a session descriptor."""
@@ -409,7 +409,7 @@ class ToolFrontEnd:
         ev = self._engine_starting = self.sim.event()
         try:
             self._engine_proc = yield from self.cluster.front_end.fork_exec(
-                ENGINE_EXECUTABLE, image_mb=ENGINE_IMAGE_MB)
+                ENGINE_EXECUTABLE, image_mb=self.cluster.costs.engine_image_mb)
         finally:
             self._engine_starting = None
             ev.succeed()
@@ -523,3 +523,6 @@ class ToolFrontEnd:
         session.job = job
         session.daemons = daemons
         session.fabric = fabric
+        # the RM just spawned this session's daemon set; keep its per-phase
+        # launch breakdown with the session (spawn / image-stage / ...)
+        session.launch_report = self.rm.last_launch_report

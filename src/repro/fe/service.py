@@ -200,6 +200,13 @@ class SessionHandle:
             return None
         return t_ready - self.submitted_at
 
+    @property
+    def launch_report(self):
+        """The RM's per-phase daemon-spawn breakdown for this session
+        (a :class:`repro.launch.LaunchReport`), or None before daemons
+        spawned."""
+        return self.session.launch_report
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         status = "done" if self.done else "in-flight"
         return (f"<SessionHandle {self.id} {self.op} "

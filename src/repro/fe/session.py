@@ -115,6 +115,9 @@ class LMONSession:
         # measurements
         self.timeline = LaunchTimeline()
         self.times = ComponentTimes()
+        #: the RM's per-phase daemon-spawn breakdown for this session's
+        #: launch (a :class:`repro.launch.LaunchReport`), set at bind time
+        self.launch_report = None
 
     # -- state machine -------------------------------------------------------
     @property

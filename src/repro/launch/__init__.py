@@ -1,0 +1,35 @@
+"""repro.launch -- the unified daemon-launch strategy layer.
+
+One pluggable :class:`LaunchStrategy` interface (``serial-rsh``,
+``tree-rsh``, ``rm-bulk``) behind every launch path in the repo, with a
+common :class:`LaunchReport` carrying the per-phase timing breakdown
+(spawn / image-stage / topo-dist / connect / handshake). See
+:mod:`repro.launch.strategy` for the mechanism semantics and
+:mod:`repro.cluster.cluster` for the image staging modes the strategies
+drive (``shared-fs`` / ``cache`` / ``broadcast``).
+"""
+
+from repro.launch.report import LaunchReport, PHASES
+from repro.launch.strategy import (
+    LaunchRequest,
+    LaunchResult,
+    LaunchStrategy,
+    RmBulkStrategy,
+    SerialRshStrategy,
+    TreeRshStrategy,
+    get_strategy,
+    strategy_names,
+)
+
+__all__ = [
+    "LaunchReport",
+    "LaunchRequest",
+    "LaunchResult",
+    "LaunchStrategy",
+    "PHASES",
+    "RmBulkStrategy",
+    "SerialRshStrategy",
+    "TreeRshStrategy",
+    "get_strategy",
+    "strategy_names",
+]

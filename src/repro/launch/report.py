@@ -1,0 +1,74 @@
+"""The common launch report: one per-phase timing breakdown for every path.
+
+Every launch mechanism in the repo -- ad-hoc rsh loops, tree fan-out rsh,
+the RM's native bulk daemon launch, and the TBON startup paths built on all
+three -- reports its cost through the same :class:`LaunchReport`, so
+experiments can attribute scaling loss to a specific phase (ScalAna-style)
+instead of comparing opaque totals:
+
+``t_spawn``
+    process creation: rsh connections / RM protocol / fork+exec.
+``t_image_stage``
+    moving executable images to the nodes (shared-FS reads, cache hits,
+    cooperative broadcast) -- the paper's dominant term for heavyweight
+    daemons.
+``t_topo_dist``
+    distributing topology/placement information to the daemons.
+``t_connect``
+    daemons connecting to their tree parents.
+``t_handshake``
+    per-daemon stream/port handshakes at the front end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LaunchReport", "PHASES"]
+
+#: the per-phase fields of a report, in critical-path order
+PHASES = ("t_spawn", "t_image_stage", "t_topo_dist", "t_connect",
+          "t_handshake")
+
+
+@dataclass
+class LaunchReport:
+    """Timing decomposition of one daemon launch (any mechanism).
+
+    ``total`` is the caller-observed wall time; the phases need not sum to
+    it exactly (phases can overlap -- e.g. serialized shared-FS image loads
+    interleaved with a sequential spawn loop are *attributed* to
+    ``t_image_stage`` out of the spawn window).
+    """
+
+    mechanism: str
+    n_daemons: int
+    requested: int = 0
+    t_spawn: float = 0.0
+    t_image_stage: float = 0.0
+    t_topo_dist: float = 0.0
+    t_connect: float = 0.0
+    t_handshake: float = 0.0
+    total: float = 0.0
+    fe_procs_peak: int = 0
+    staging_mode: str = "shared-fs"
+    failed: bool = False
+    failure: str = ""
+
+    def phases(self) -> dict:
+        """The per-phase breakdown as an ordered name -> seconds dict."""
+        return {name: getattr(self, name) for name in PHASES}
+
+    def dominant_phase(self) -> str:
+        """Name of the costliest phase (scaling-loss attribution)."""
+        return max(PHASES, key=lambda name: getattr(self, name))
+
+    def as_dict(self) -> dict:
+        return {
+            "mechanism": self.mechanism, "n_daemons": self.n_daemons,
+            "t_spawn": self.t_spawn, "t_image_stage": self.t_image_stage,
+            "t_topo_dist": self.t_topo_dist, "t_connect": self.t_connect,
+            "t_handshake": self.t_handshake, "total": self.total,
+            "fe_procs_peak": self.fe_procs_peak,
+            "staging_mode": self.staging_mode,
+        }

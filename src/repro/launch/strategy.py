@@ -1,0 +1,390 @@
+"""LaunchStrategy: the single pluggable layer behind every daemon launch.
+
+The repo used to carry three divergent copies of the hottest path in the
+codebase -- the ad-hoc rsh loops in :mod:`repro.adhoc.launchers`, the RM
+bulk spawn inside each resource manager, and the TBON startup spawn loop in
+:mod:`repro.tbon.startup`. All of them now route through one of three
+strategies:
+
+* :class:`SerialRshStrategy` (``serial-rsh``) -- one rsh per daemon, in a
+  loop; optionally holding every client open (the MRNet behaviour that
+  exhausts the front end's process table at scale).
+* :class:`TreeRshStrategy` (``tree-rsh``) -- spawned daemons spawn their
+  children, parallelizing the rsh cost across tree levels.
+* :class:`RmBulkStrategy` (``rm-bulk``) -- the paper's efficient path: the
+  RM's scalable launch machinery forks every daemon in parallel; resource
+  managers wrap it with their protocol costs (controller bookkeeping,
+  fan-out tree descent).
+
+Every strategy takes a :class:`LaunchRequest`, stages executable images
+through the cluster's storage layer (:class:`~repro.cluster.SharedFilesystem`,
+honouring its ``shared-fs``/``cache``/``broadcast`` staging mode) when
+``stage_images`` is set, and returns a :class:`LaunchResult` carrying the
+spawned processes plus a per-phase :class:`~repro.launch.report.LaunchReport`.
+
+Failure contracts differ by design, mirroring the mechanisms they model:
+the rsh strategies *record* the first failure in the report and return the
+partial result (ad-hoc practice limps along; callers inspect
+``report.failed``), while ``rm-bulk`` is all-or-nothing -- it reaps partial
+daemons and re-raises, like a real RM aborting a job step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from repro.cluster import Cluster, ForkError, Node, RemoteExecError, SimProcess
+from repro.launch.report import LaunchReport
+
+__all__ = [
+    "LaunchRequest",
+    "LaunchResult",
+    "LaunchStrategy",
+    "RmBulkStrategy",
+    "SerialRshStrategy",
+    "TreeRshStrategy",
+    "get_strategy",
+    "strategy_names",
+]
+
+
+@dataclass
+class LaunchRequest:
+    """One daemon-launch work order, mechanism-independent.
+
+    ``image_mb < 0`` resolves to ``CostModel.daemon_image_mb``. The
+    per-index hooks exist for callers whose daemons are not uniform:
+    ``args_for(i, node)`` / ``image_mb_for(i, node)`` override ``args`` /
+    ``image_mb`` per spawn, and ``post_spawn(i, node, proc)`` runs right
+    after each successful spawn (it may return a generator to cost virtual
+    time -- e.g. the ad-hoc topology-file read -- or do plain bookkeeping
+    and return None).
+    """
+
+    cluster: Cluster
+    nodes: Sequence[Node]
+    executable: str
+    image_mb: float = -1.0
+    args: tuple = ()
+    uid: str = "user"
+    #: keep each rsh client alive to carry daemon stdio (MRNet behaviour)
+    hold_clients: bool = False
+    #: fan-out of the tree-rsh strategy
+    fanout: int = 8
+    #: route ``image_mb`` through the storage layer's staging mode
+    stage_images: bool = False
+    #: cache key for staged images (defaults to the executable name)
+    image_key: Optional[str] = None
+    #: node the launch originates from (defaults to the front end)
+    source: Optional[Node] = None
+    #: serial-rsh: propagate spawn failures instead of recording them in
+    #: the report (the RM-driven job-launch contract); rm-bulk always
+    #: raises, tree-rsh always records
+    raise_on_error: bool = False
+    args_for: Optional[Callable[[int, Node], tuple]] = None
+    image_mb_for: Optional[Callable[[int, Node], float]] = None
+    post_spawn: Optional[Callable[[int, Node, SimProcess], Any]] = None
+
+    @property
+    def key(self) -> str:
+        return self.image_key or self.executable
+
+    def resolved_image_mb(self, i: int = 0, node: Optional[Node] = None,
+                          ) -> float:
+        if self.image_mb_for is not None:
+            return self.image_mb_for(i, node)
+        if self.image_mb < 0:
+            return self.cluster.costs.daemon_image_mb
+        return self.image_mb
+
+    def resolved_args(self, i: int, node: Node) -> tuple:
+        if self.args_for is not None:
+            return self.args_for(i, node)
+        return self.args
+
+
+@dataclass
+class LaunchResult:
+    """Spawned daemon processes plus the per-phase timing report."""
+
+    procs: list = field(default_factory=list)
+    report: LaunchReport = None  # type: ignore[assignment]
+
+    @property
+    def n_spawned(self) -> int:
+        return len(self.procs)
+
+
+class LaunchStrategy:
+    """Interface + shared machinery of one launch mechanism."""
+
+    name = "abstract"
+
+    def launch(self, req: LaunchRequest,
+               ) -> Generator[Any, Any, LaunchResult]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- shared helpers ------------------------------------------------------
+    def _begin(self, req: LaunchRequest) -> LaunchResult:
+        report = LaunchReport(
+            self.name, n_daemons=0, requested=len(req.nodes),
+            staging_mode=req.cluster.fs.staging)
+        return LaunchResult(procs=[], report=report)
+
+    def _prestage(self, req: LaunchRequest,
+                  report: LaunchReport) -> Generator[Any, Any, None]:
+        """Broadcast-mode staging runs as one explicit up-front phase.
+
+        In ``shared-fs``/``cache`` modes images load per-spawn instead (the
+        serialized loads are attributed to ``t_image_stage`` afterwards via
+        the filesystem's busy-time meter). Non-uniform image sets
+        (``image_mb_for``) cannot ride one broadcast either -- they fall
+        back to per-spawn loads, which the broadcast-mode cache still
+        coalesces per distinct key.
+        """
+        fs = req.cluster.fs
+        if (not req.stage_images or fs.staging != "broadcast"
+                or req.image_mb_for is not None):
+            return
+        sim = req.cluster.sim
+        t0 = sim.now
+        yield from fs.stage_images(
+            list(req.nodes), req.resolved_image_mb(), req.key)
+        report.t_image_stage += sim.now - t0
+
+    def _run_post_spawn(self, req: LaunchRequest, i: int, node: Node,
+                        proc: SimProcess) -> Generator[Any, Any, None]:
+        if req.post_spawn is None:
+            return
+        gen = req.post_spawn(i, node, proc)
+        if gen is not None:
+            yield from gen
+
+    @staticmethod
+    def _attribute_fs_time(report: LaunchReport, req: LaunchRequest,
+                           busy0: float, window: float) -> float:
+        """Attribute shared-FS service time inside the spawn window to the
+        image-stage phase (approximate under concurrent foreign loads);
+        returns the attributed seconds so callers can carve it out of the
+        spawn phase."""
+        fs = req.cluster.fs
+        if not req.stage_images or fs.staging == "broadcast":
+            return 0.0
+        served = (fs.busy_time - busy0) / max(1, fs._servers.capacity)
+        attributed = min(window, served)
+        report.t_image_stage += attributed
+        return attributed
+
+    def _finish(self, result: LaunchResult, req: LaunchRequest,
+                t0: float) -> LaunchResult:
+        report = result.report
+        report.n_daemons = len(result.procs)
+        report.total = req.cluster.sim.now - t0
+        src = req.source or req.cluster.front_end
+        report.fe_procs_peak = src.max_uid_procs_seen
+        return result
+
+
+class SerialRshStrategy(LaunchStrategy):
+    """The most common ad-hoc practice: one rsh per daemon, in a loop.
+
+    With ``hold_clients`` (the MRNet behaviour) each rsh client stays alive
+    on the source node, so the launch eventually exhausts its process table
+    instead of merely being slow.
+    """
+
+    name = "serial-rsh"
+
+    def launch(self, req: LaunchRequest,
+               ) -> Generator[Any, Any, LaunchResult]:
+        cluster = req.cluster
+        sim = cluster.sim
+        fs = cluster.fs
+        src = req.source or cluster.front_end
+        result = self._begin(req)
+        report = result.report
+        t0 = sim.now
+        yield from self._prestage(req, report)
+        t_spawn0 = sim.now
+        busy0 = fs.busy_time
+        for i, node in enumerate(req.nodes):
+            image = req.resolved_image_mb(i, node)
+            try:
+                if req.stage_images:
+                    yield from fs.load_image(image, node=node, key=req.key)
+                _client, proc = yield from src.rsh_spawn(
+                    node, req.executable, args=req.resolved_args(i, node),
+                    uid=req.uid, image_mb=image,
+                    hold_client=req.hold_clients)
+            except (ForkError, RemoteExecError) as exc:
+                if req.raise_on_error:
+                    raise
+                report.failed = True
+                report.failure = str(exc)
+                break
+            result.procs.append(proc)
+            yield from self._run_post_spawn(req, i, node, proc)
+        window = sim.now - t_spawn0
+        staged = self._attribute_fs_time(report, req, busy0, window)
+        report.t_spawn = max(0.0, window - staged)
+        return self._finish(result, req, t0)
+
+
+class TreeRshStrategy(LaunchStrategy):
+    """Tree-based ad-hoc protocol: spawned daemons spawn children daemons.
+
+    Parallelizes the rsh cost across levels (depth x per-rsh instead of
+    count x per-rsh) but keeps every other ad-hoc weakness: it still needs
+    rshd on the compute nodes, manual placement, and a manual protocol for
+    daemons to find their children.
+    """
+
+    name = "tree-rsh"
+
+    def launch(self, req: LaunchRequest,
+               ) -> Generator[Any, Any, LaunchResult]:
+        cluster = req.cluster
+        sim = cluster.sim
+        fs = cluster.fs
+        src = req.source or cluster.front_end
+        fanout = max(2, req.fanout)
+        result = self._begin(req)
+        report = result.report
+        t0 = sim.now
+        yield from self._prestage(req, report)
+        t_spawn0 = sim.now
+        busy0 = fs.busy_time
+        failure: list[str] = []
+
+        def spawn_subtree(origin: Node, targets: list):
+            """rsh the first target from origin; it spawns its slices.
+
+            ``targets`` holds ``(index, node)`` pairs so the per-index
+            request hooks (args_for / image_mb_for / post_spawn) see each
+            daemon's position in ``req.nodes`` despite the tree order.
+            """
+            if not targets or failure:
+                return
+            (idx, head), rest = targets[0], targets[1:]
+            image = req.resolved_image_mb(idx, head)
+            try:
+                if req.stage_images:
+                    yield from fs.load_image(image, node=head, key=req.key)
+                _client, proc = yield from origin.rsh_spawn(
+                    head, req.executable, args=req.resolved_args(idx, head),
+                    uid=req.uid, image_mb=image,
+                    hold_client=req.hold_clients)
+            except (ForkError, RemoteExecError) as exc:
+                failure.append(str(exc))
+                return
+            result.procs.append(proc)
+            yield from self._run_post_spawn(req, idx, head, proc)
+            if not rest:
+                return
+            # split the remainder into fanout slices handled in parallel
+            slices = [rest[i::fanout] for i in range(min(fanout, len(rest)))]
+            procs = [sim.process(spawn_subtree(head, s), name="tree-rsh")
+                     for s in slices if s]
+            yield sim.all_of(procs)
+
+        nodes = list(enumerate(req.nodes))
+        roots = [nodes[i::fanout] for i in range(min(fanout, len(nodes)))]
+        top = [sim.process(spawn_subtree(src, s), name="tree-rsh-root")
+               for s in roots if s]
+        yield sim.all_of(top)
+        if failure:
+            report.failed = True
+            report.failure = failure[0]
+        window = sim.now - t_spawn0
+        staged = self._attribute_fs_time(report, req, busy0, window)
+        report.t_spawn = max(0.0, window - staged)
+        return self._finish(result, req, t0)
+
+
+class RmBulkStrategy(LaunchStrategy):
+    """The RM's efficient daemon launch: all nodes fork in parallel.
+
+    Models the per-node half of ``spawn_daemons`` (Section 3.1): every node
+    stages the daemon image through the storage layer and forks it locally,
+    in parallel across nodes. The RM-protocol half (controller bookkeeping,
+    launch-tree descent) stays with the resource manager, which adds it to
+    the report's spawn phase.
+
+    All-or-nothing: a failed spawn interrupts the in-flight workers, reaps
+    the daemons already forked, and re-raises -- a failed set must not leave
+    orphan processes squatting on the nodes.
+    """
+
+    name = "rm-bulk"
+
+    def launch(self, req: LaunchRequest,
+               ) -> Generator[Any, Any, LaunchResult]:
+        cluster = req.cluster
+        sim = cluster.sim
+        fs = cluster.fs
+        result = self._begin(req)
+        report = result.report
+        nodes = list(req.nodes)
+        t0 = sim.now
+        yield from self._prestage(req, report)
+        t_spawn0 = sim.now
+        busy0 = fs.busy_time
+        procs: list = [None] * len(nodes)
+
+        def _spawn_one(i: int, node: Node):
+            image = req.resolved_image_mb(i, node)
+            if req.stage_images:
+                yield from fs.load_image(image, node=node, key=req.key)
+            proc = yield from node.fork_exec(
+                req.executable, args=req.resolved_args(i, node),
+                uid=req.uid, image_mb=image)
+            procs[i] = proc
+            yield from self._run_post_spawn(req, i, node, proc)
+
+        workers = [sim.process(_spawn_one(i, node), name=f"spawn:{node.name}")
+                   for i, node in enumerate(nodes)]
+        try:
+            yield sim.all_of(workers)
+        except BaseException:
+            # abort the set: stop in-flight spawners and reap daemons
+            # already forked -- a failed spawn must not leave orphans
+            for w in workers:
+                # defuse every worker: a sibling that failed at the same
+                # instant is already dead but its failure event would
+                # otherwise crash the whole simulator run
+                w.defuse()
+                if w.is_alive:
+                    w.interrupt("daemon spawn aborted")
+            for p in procs:
+                if p is not None and p.alive:
+                    p.exit(9)
+            raise
+        result.procs = list(procs)
+        window = sim.now - t_spawn0
+        staged = self._attribute_fs_time(report, req, busy0, window)
+        report.t_spawn = max(0.0, window - staged)
+        return self._finish(result, req, t0)
+
+
+#: the strategy registry; every entry is stateless and shareable
+_STRATEGIES = {
+    cls.name: cls()
+    for cls in (SerialRshStrategy, TreeRshStrategy, RmBulkStrategy)
+}
+
+
+def strategy_names() -> tuple:
+    """Names of the registered launch strategies."""
+    return tuple(sorted(_STRATEGIES))
+
+
+def get_strategy(name: str) -> LaunchStrategy:
+    """Look up a registered strategy by name."""
+    try:
+        return _STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown launch strategy {name!r}; "
+            f"one of {strategy_names()}") from None

@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.cluster.cluster import STAGING_MODES, StagingError
 from repro.cluster.costs import CostModel
 from repro.engine.timeline import ComponentTimes
 from repro.rm.slurm import SlurmConfig
@@ -33,10 +34,16 @@ class LaunchModel:
     not a calibration gap)."""
 
     def __init__(self, costs: CostModel | None = None,
-                 slurm: SlurmConfig | None = None, fs_servers: int = 1):
+                 slurm: SlurmConfig | None = None, fs_servers: int = 1,
+                 staging: str = "shared-fs"):
         self.costs = costs or CostModel()
         self.slurm = slurm or SlurmConfig()
         self.fs_servers = max(1, fs_servers)
+        if staging not in STAGING_MODES:
+            raise StagingError(
+                f"unknown staging mode {staging!r}; one of {STAGING_MODES}")
+        #: the storage layer's staging mode the prediction assumes
+        self.staging = staging
 
     # -- helpers ------------------------------------------------------------
     def _tree_depth(self, n: int) -> float:
@@ -46,6 +53,48 @@ class LaunchModel:
         """Shared-FS serialized image distribution across n_loads nodes."""
         per = self.costs.fs_open + image_mb * 1024 * 1024 / self.costs.fs_bandwidth
         return per * n_loads / self.fs_servers
+
+    def _image_broadcast(self, image_mb: float, n_loads: int) -> float:
+        """Cooperative broadcast: one FS read + O(log N) copy rounds."""
+        c = self.costs
+        nbytes = image_mb * 1024 * 1024
+        one_read = c.fs_open + nbytes / c.fs_bandwidth
+        if n_loads <= 1:
+            return one_read
+        fanout = max(2, c.bcast_fanout)
+        rounds = math.ceil(math.log(n_loads, fanout))
+        per_round = (c.tcp_connect + c.bcast_hop_overhead
+                     + (fanout - 1) * (c.net_latency + c.msg_overhead
+                                       + nbytes / c.net_bandwidth))
+        return one_read + rounds * per_round
+
+    def image_stage_time(self, image_mb: float, n_loads: int,
+                         warm_nodes: int = 0,
+                         staging: str | None = None) -> float:
+        """T(image-stage) for one image onto ``n_loads`` nodes.
+
+        ``shared-fs`` serializes every load through the FS servers (the
+        classic linear term); ``cache`` pays the serial term only for the
+        cold nodes (warm nodes hit their local caches in parallel, one
+        page-cache window); ``broadcast`` pays one FS read plus a
+        logarithmic distribution tree regardless of warmth.
+        """
+        mode = staging or self.staging
+        if mode not in STAGING_MODES:
+            raise StagingError(
+                f"unknown staging mode {mode!r}; one of {STAGING_MODES}")
+        if image_mb <= 0 or n_loads <= 0:
+            return 0.0
+        warm = min(max(0, warm_nodes), n_loads)
+        cold = n_loads - warm
+        if mode == "broadcast":
+            if cold == 0:
+                return self.costs.cache_hit
+            return self._image_broadcast(image_mb, cold)
+        if mode == "cache":
+            return (self._image_serial(image_mb, cold)
+                    + (self.costs.cache_hit if warm else 0.0))
+        return self._image_serial(image_mb, n_loads)
 
     def _hop_msg(self) -> float:
         return (self.costs.net_latency + self.costs.msg_overhead
@@ -77,7 +126,7 @@ class LaunchModel:
         return (s.ctl_job_setup
                 + s.ctl_per_node_job * n
                 + self._tree_depth(n) * s.hop_cost
-                + self._image_serial(inp.app_image_mb, n)
+                + self.image_stage_time(inp.app_image_mb, n)
                 + inp.tasks_per_daemon * c.fork_exec
                 + s.pmi_per_task * inp.n_tasks
                 + n_events * per_event_os
@@ -97,7 +146,7 @@ class LaunchModel:
                 + s.ctl_per_node_daemon * n
                 + congestion
                 + self._tree_depth(n) * s.hop_cost
-                + self._image_serial(inp.daemon_image_mb, n)
+                + self.image_stage_time(inp.daemon_image_mb, n)
                 + c.fork_exec)
 
     def t_setup(self, inp: ModelInputs) -> float:

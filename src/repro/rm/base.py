@@ -32,6 +32,7 @@ from typing import Any, Callable, Generator, Optional, Sequence
 from repro.simx import Event, SeededRNG, Simulator
 from repro.apps import AppSpec
 from repro.cluster import Cluster, Node, SimProcess
+from repro.launch import LaunchReport, LaunchRequest, LaunchResult, RmBulkStrategy
 from repro.mpir import (
     MPIR_BEING_DEBUGGED,
     MPIR_DEBUG_SPAWNED,
@@ -167,6 +168,8 @@ class ResourceManager:
     supports_daemon_launch = True
     #: whether the RM wires a fabric the ICCL can bootstrap from
     provides_fabric = True
+    #: the shared per-node spawn machinery every capable RM launches through
+    bulk_strategy = RmBulkStrategy()
 
     def __init__(self, cluster: Cluster, seed: int = 7):
         self.cluster = cluster
@@ -181,6 +184,8 @@ class ResourceManager:
         self.alloc_waits: list[float] = []
         #: diagnostics: high-water mark of simultaneously queued requests
         self.alloc_queue_peak = 0
+        #: per-phase breakdown of the most recent daemon spawn (any session)
+        self.last_launch_report: Optional[LaunchReport] = None
 
     # -- allocation ---------------------------------------------------------
     @property
@@ -308,6 +313,26 @@ class ResourceManager:
         yield  # pragma: no cover
 
     # -- shared helpers ------------------------------------------------------
+    def _launch_daemon_procs(self, nodes: Sequence[Node], spec: DaemonSpec,
+                             ) -> Generator[Any, Any, LaunchResult]:
+        """Fork one daemon per node through the unified ``rm-bulk`` strategy.
+
+        Stages ``spec.image_mb`` through the cluster's storage layer (so the
+        active staging mode -- shared-fs, per-node cache, or cooperative
+        broadcast -- governs the image-distribution cost), forks all nodes
+        in parallel, and records the per-phase :class:`LaunchReport` in
+        :attr:`last_launch_report`. Protocol costs the RM pays *before*
+        calling this (controller bookkeeping, tree descent) should be added
+        to the report's spawn phase by the caller.
+        """
+        result = yield from self.bulk_strategy.launch(LaunchRequest(
+            cluster=self.cluster, nodes=nodes, executable=spec.executable,
+            image_mb=spec.image_mb, args=spec.args, uid=spec.uid,
+            stage_images=True, image_key=spec.executable))
+        result.report.mechanism = f"rm-bulk({self.name})"
+        self.last_launch_report = result.report
+        return result
+
     def _start_daemon_bodies(self, daemons: list[LaunchedDaemon],
                              spec: DaemonSpec, context_factory) -> None:
         """Start each daemon's tool body as a simulation process."""

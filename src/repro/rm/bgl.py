@@ -6,7 +6,10 @@ spawning services were slower, prompting work with IBM. We model that as
 the same protocol with scaled cost constants (and no rshd on compute nodes,
 the defining MPP restriction from Section 2). Allocation -- immediate or
 queued via :meth:`~repro.rm.base.ResourceManager.allocate_async` -- follows
-the base RM's FIFO discipline.
+the base RM's FIFO discipline, and daemon spawning inherits SLURM's route
+through the unified ``rm-bulk`` :class:`~repro.launch.LaunchStrategy`
+(reports show up as ``rm-bulk(bgl-mpirun)``), so the scaled spawn costs land
+in the same per-phase breakdown as every other platform's.
 """
 
 from __future__ import annotations

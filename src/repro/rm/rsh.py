@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator
 
 from repro.apps import AppSpec
+from repro.launch import LaunchRequest, SerialRshStrategy
 from repro.mpir import MPIR_BEING_DEBUGGED
 from repro.rm.base import (
     Allocation,
@@ -37,6 +38,8 @@ class RshRM(ResourceManager):
     name = "rsh-only"
     supports_daemon_launch = False
     provides_fabric = False
+    #: the fallback job-launch mechanism (daemon launch stays unsupported)
+    task_strategy = SerialRshStrategy()
 
     def launcher_executable(self) -> str:
         return "mpirun-rsh"
@@ -45,28 +48,44 @@ class RshRM(ResourceManager):
                         ) -> Generator[Any, Any, RMJob]:
         fe = self.cluster.front_end
         launcher = yield from fe.fork_exec(
-            self.launcher_executable(), args=(app.executable,), image_mb=1.0)
+            self.launcher_executable(), args=(app.executable,),
+            image_mb=self.cluster.costs.rsh_launcher_image_mb)
         launcher.stop()
         job = RMJob(app, alloc, launcher)
         self.jobs.append(job)
         return job
 
     def run_launcher(self, job: RMJob) -> Generator[Any, Any, RMJob]:
-        """Sequential rsh start of every task -- the slow, fragile path."""
+        """Sequential rsh start of every task -- the slow, fragile path.
+
+        Routed through the unified ``serial-rsh``
+        :class:`~repro.launch.LaunchStrategy` with per-rank argument/image
+        hooks; spawn failures propagate (``raise_on_error``), matching the
+        historical contract.
+        """
         launcher = job.launcher
         if launcher.state.value == "T":
             yield launcher.wait_resumed()
         job.state = JobState.LAUNCHING
         app = job.app
-        fe = self.cluster.front_end
-        for node, rank in self._place_tasks(app, job.allocation):
-            _client, proc = yield from fe.rsh_spawn(
-                node, app.executable, args=(f"rank={rank}",),
-                image_mb=app.image_mb if rank % app.tasks_per_node == 0 else 0.0,
-                hold_client=False)
-            proc.memory["_rank"] = rank
-            app.apply_behavior(proc, rank)
+        placement = self._place_tasks(app, job.allocation)
+        ranks = [rank for _, rank in placement]
+
+        def imprint(i, node, proc):
+            proc.memory["_rank"] = ranks[i]
+            app.apply_behavior(proc, ranks[i])
             job.tasks.append(proc)
+
+        result = yield from self.task_strategy.launch(LaunchRequest(
+            cluster=self.cluster,
+            nodes=[node for node, _ in placement],
+            executable=app.executable,
+            args_for=lambda i, node: (f"rank={ranks[i]}",),
+            image_mb_for=lambda i, node: (
+                app.image_mb if ranks[i] % app.tasks_per_node == 0 else 0.0),
+            post_spawn=imprint,
+            raise_on_error=True))
+        self.last_launch_report = result.report
         traced = launcher.memory.get(MPIR_BEING_DEBUGGED, 0)
         job.publish_mpir(stopped=bool(traced))
         job.state = JobState.RUNNING

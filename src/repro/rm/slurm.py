@@ -4,8 +4,12 @@ The launch protocol follows srun's architecture: the launcher process asks
 the controller to set up per-node credentials (a small per-node serial
 cost), fans the launch request down a fan-out tree of node daemons, and the
 node daemons fork tasks locally (in parallel across nodes, serially within
-one). Executable images load through the shared filesystem, which is where
-most real launch time goes.
+one). Executable images load through the storage layer
+(:class:`~repro.cluster.SharedFilesystem`), which is where most real launch
+time goes; daemon co-location runs through the unified ``rm-bulk``
+:class:`~repro.launch.LaunchStrategy` (the SLURM protocol costs are added
+to its spawn phase), so the RM's :attr:`last_launch_report` carries the
+per-phase breakdown of every spawn.
 
 Debug-event behaviour matches the paper's account exactly: a *well-designed*
 SLURM delivers a scale-independent number of events to a tracer (the paper
@@ -103,7 +107,7 @@ class SlurmRM(ResourceManager):
         launcher = yield from fe.fork_exec(
             self.launcher_executable(),
             args=(app.executable, f"-n{app.n_tasks}"),
-            image_mb=2.0)
+            image_mb=self.cluster.costs.launcher_image_mb)
         launcher.stop()
         job = RMJob(app, alloc, launcher)
         job.state = JobState.PENDING
@@ -214,10 +218,12 @@ class SlurmRM(ResourceManager):
         n = len(nodes)
         if n == 0:
             raise RMError("empty daemon node set")
+        t0 = sim.now
 
         # transient launcher for the daemon set
         launcher = yield from self.cluster.front_end.fork_exec(
-            self.launcher_executable(), args=(spec.executable,), image_mb=2.0)
+            self.launcher_executable(), args=(spec.executable,),
+            image_mb=self.cluster.costs.launcher_image_mb)
 
         # controller bookkeeping, with saturation beyond the threshold
         extra = max(0, n - cfg.ctl_congestion_threshold)
@@ -226,37 +232,20 @@ class SlurmRM(ResourceManager):
             + cfg.ctl_congestion_per_node * extra))
 
         yield sim.timeout(self._tree_descent_time(n))
+        protocol_overhead = sim.now - t0
 
-        procs: list = [None] * n
-
-        def _spawn_one(i: int, node: Node):
-            yield from self.cluster.fs.load_image(spec.image_mb)
-            proc = yield from node.fork_exec(
-                spec.executable, args=spec.args, uid=spec.uid,
-                image_mb=spec.image_mb)
-            procs[i] = proc
-
-        workers = [sim.process(_spawn_one(i, node), name=f"spawn:{node.name}")
-                   for i, node in enumerate(nodes)]
+        # per-node image staging + parallel fork via the unified launch
+        # layer; a failed set is reaped by the strategy, the transient
+        # launcher is this RM's to retire
         try:
-            yield sim.all_of(workers)
+            result = yield from self._launch_daemon_procs(nodes, spec)
         except BaseException:
-            # abort the set: stop in-flight spawners, reap daemons already
-            # forked, retire the transient launcher -- a failed spawn must
-            # not leave orphan processes squatting on the nodes
-            for w in workers:
-                # defuse every worker: a sibling that failed at the same
-                # instant is already dead but its failure event would
-                # otherwise crash the whole simulator run
-                w.defuse()
-                if w.is_alive:
-                    w.interrupt("daemon spawn aborted")
-            for p in procs:
-                if p is not None and p.alive:
-                    p.exit(9)
             if launcher.alive:
                 launcher.exit(9)
             raise
+        procs = result.procs
+        result.report.t_spawn += protocol_overhead
+        result.report.total += protocol_overhead
 
         topo = TreeTopology.make(n, topology or cfg.iccl_topology)
         fabric = ICCLFabric(
@@ -286,7 +275,8 @@ class SlurmRM(ResourceManager):
     def _spawn_tasks_on(self, node: Node, ranks: list[int], app: AppSpec,
                         job: RMJob):
         """slurmd body: load the app image once, then fork each local task."""
-        yield from self.cluster.fs.load_image(app.image_mb)
+        yield from self.cluster.fs.load_image(app.image_mb, node=node,
+                                              key=app.executable)
         for rank in ranks:
             proc = yield from node.fork_exec(
                 app.executable, args=(f"rank={rank}",), image_mb=0.0)

@@ -16,12 +16,11 @@ and the TBON's own per-backend stream handshake remain.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
 from repro.be import BackEnd
-from repro.cluster import Cluster, ForkError, Node, RemoteExecError
-from repro.cluster.network import message_size
+from repro.cluster import Cluster, Node
+from repro.launch import LaunchReport, LaunchRequest, SerialRshStrategy
 from repro.rm.base import DaemonSpec, RMJob
 from repro.tbon.overlay import Overlay, StreamSpec
 from repro.tbon.topology import TBONTopology
@@ -33,6 +32,9 @@ __all__ = ["StartupFailure", "StartupReport", "launchmon_startup",
 #: the paper's 0.77 s MRNet handshake at 256 back ends)
 MRNET_PER_BE_HANDSHAKE = 0.003
 
+#: TBON startups report through the unified launch layer's per-phase report
+StartupReport = LaunchReport
+
 
 class StartupFailure(RuntimeError):
     """The startup mechanism collapsed (e.g. fork failure at scale)."""
@@ -40,28 +42,6 @@ class StartupFailure(RuntimeError):
     def __init__(self, message: str, spawned: int = 0):
         super().__init__(message)
         self.spawned = spawned
-
-
-@dataclass
-class StartupReport:
-    """Timing decomposition of one TBON startup."""
-
-    mechanism: str
-    n_daemons: int
-    t_spawn: float = 0.0
-    t_topo_dist: float = 0.0
-    t_connect: float = 0.0
-    t_handshake: float = 0.0
-    total: float = 0.0
-    fe_procs_peak: int = 0
-
-    def as_dict(self) -> dict:
-        return {
-            "mechanism": self.mechanism, "n_daemons": self.n_daemons,
-            "t_spawn": self.t_spawn, "t_topo_dist": self.t_topo_dist,
-            "t_connect": self.t_connect, "t_handshake": self.t_handshake,
-            "total": self.total, "fe_procs_peak": self.fe_procs_peak,
-        }
 
 
 def _build_overlay(cluster: Cluster, topology: TBONTopology,
@@ -93,7 +73,6 @@ def native_startup(cluster: Cluster, backend_nodes: list[Node],
     sim = cluster.sim
     fe = cluster.front_end
     topo = topology or TBONTopology.one_deep(len(backend_nodes))
-    report = StartupReport("mrnet-rsh", n_daemons=topo.size - 1)
     t0 = sim.now
 
     # placement: comm positions from the comm pool, BEs in node order
@@ -110,26 +89,34 @@ def native_startup(cluster: Cluster, backend_nodes: list[Node],
 
     # topology distributed through one shared file: write once...
     topo_bytes = json.dumps(topo.to_jsonable()).encode()
-    yield from cluster.fs.load_image(len(topo_bytes) / (1024 * 1024))
-    report.t_topo_dist = sim.now - t0
+    topo_file_mb = len(topo_bytes) / (1024 * 1024)
+    yield from cluster.fs.load_image(topo_file_mb)
+    t_topo_dist = sim.now - t0
 
-    # ...then sequential rsh spawn of every daemon (clients held open)
-    t_spawn0 = sim.now
-    spawned = 0
-    for pos in range(1, topo.size):
-        node = placement[pos]
-        try:
-            yield from fe.rsh_spawn(
-                node, daemon_executable, args=(f"pos={pos}",),
-                image_mb=image_mb, hold_client=True)
-        except (ForkError, RemoteExecError) as exc:
-            raise StartupFailure(
-                f"ad-hoc startup failed after {spawned} daemons: {exc}",
-                spawned=spawned) from exc
-        spawned += 1
-        # every daemon reads the topology file (shared-file contention)
-        yield from cluster.fs.load_image(len(topo_bytes) / (1024 * 1024))
-    report.t_spawn = sim.now - t_spawn0
+    # ...then sequential rsh spawn of every daemon (clients held open);
+    # every daemon re-reads the topology file right after it starts
+    # (shared-file contention), which the post-spawn hook charges inside
+    # the spawn window exactly as the historical loop did
+    def read_topo_file(i, node, proc):
+        yield from cluster.fs.load_image(topo_file_mb)
+
+    launch = yield from SerialRshStrategy().launch(LaunchRequest(
+        cluster=cluster,
+        nodes=[placement[pos] for pos in range(1, topo.size)],
+        executable=daemon_executable,
+        args_for=lambda i, node: (f"pos={i + 1}",),
+        image_mb=image_mb,
+        hold_clients=True,
+        post_spawn=read_topo_file,
+        source=fe))
+    report = launch.report
+    report.mechanism = "mrnet-rsh"
+    if report.failed:
+        raise StartupFailure(
+            f"ad-hoc startup failed after {launch.n_spawned} daemons: "
+            f"{report.failure}", spawned=launch.n_spawned)
+    report.n_daemons = topo.size - 1
+    report.t_topo_dist = t_topo_dist
     report.fe_procs_peak = fe.max_uid_procs_seen
 
     # daemons connect to their parents (parallel) and FE handshakes streams
@@ -223,6 +210,13 @@ def launchmon_startup(fe_api, session, job: RMJob,
         session, job, spec,
         usr_data={"topology": topo.to_jsonable()})
     report.t_spawn = sim.now - t_spawn0
+    # the RM's bulk launch recorded how much of that window was image
+    # staging; carve it out so the phases attribute like every other path
+    rm_report = getattr(fe_api.rm, "last_launch_report", None)
+    if rm_report is not None:
+        report.t_image_stage = rm_report.t_image_stage
+        report.t_spawn = max(0.0, report.t_spawn - rm_report.t_image_stage)
+        report.staging_mode = rm_report.staging_mode
 
     # build placement: BE position i <-> i-th host in RPDTAB order; comm
     # positions would come from MW daemons (launch_mw_daemons) -- the

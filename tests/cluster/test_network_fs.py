@@ -128,6 +128,147 @@ class TestSharedFilesystem:
         one = costs.fs_open + 25 * 1024 * 1024 / costs.fs_bandwidth
         assert sim.now == pytest.approx(n * one / 4, rel=0.2)
 
+    def test_interrupt_while_queued_releases_slot(self, sim, rng):
+        """Regression: a loader killed while *queued* for a server slot must
+        withdraw its request -- otherwise the granted-but-dead request
+        wedges the filesystem for every later launch."""
+        fs = SharedFilesystem(sim, CostModel(), rng)
+        done = []
+
+        def loader(tag):
+            try:
+                yield from fs.load_image(25.0)
+            finally:
+                done.append(tag)
+
+        holder = sim.process(loader("holder"))
+        queued = sim.process(loader("queued"))
+
+        def killer(sim):
+            yield sim.timeout(0.001)  # holder is serving, 'queued' waits
+            queued.interrupt("daemon spawn aborted")
+
+        sim.process(killer(sim))
+        queued.defuse()
+        sim.run()
+        assert done == ["queued", "holder"]
+        assert fs._servers.in_use == 0
+        assert fs._servers.pending == 0
+        # the aborted loader never consumed FS service
+        assert fs.loads == 1
+
+        # the slot is genuinely reusable: a later load completes normally
+        t0 = sim.now
+        after = sim.process(loader("after"))
+        sim.run()
+        assert after.ok and done[-1] == "after"
+        assert sim.now > t0
+
+    def test_interrupt_while_holding_slot_releases_it(self, sim, rng):
+        """Regression: a loader killed mid-transfer releases its server."""
+        fs = SharedFilesystem(sim, CostModel(), rng)
+
+        def loader(sim):
+            yield from fs.load_image(25.0)
+
+        victim = sim.process(loader(sim))
+
+        def killer(sim):
+            yield sim.timeout(0.002)  # victim holds the slot, mid-read
+            victim.interrupt("aborted")
+
+        sim.process(killer(sim))
+        victim.defuse()
+        sim.run()
+        assert fs._servers.in_use == 0
+        survivor = sim.process(loader(sim))
+        sim.run()
+        assert survivor.ok
+
+
+class TestStagingModes:
+    def _fs(self, sim, rng, staging, servers=1):
+        return SharedFilesystem(sim, CostModel(), rng, servers=servers,
+                                staging=staging)
+
+    def test_unknown_mode_rejected(self, sim, rng):
+        from repro.cluster import StagingError
+        with pytest.raises(StagingError, match="unknown staging mode"):
+            SharedFilesystem(sim, CostModel(), rng, staging="carrier-pigeon")
+
+    def test_shared_fs_mode_ignores_cache_hints(self, sim, rng):
+        costs = CostModel()
+        fs = self._fs(sim, rng, "shared-fs")
+        node = Node(sim, "n0")
+        for _ in range(2):
+            run_gen(sim, fs.load_image(25.0, node=node, key="toold"))
+        one = costs.fs_open + 25 * 1024 * 1024 / costs.fs_bandwidth
+        assert sim.now == pytest.approx(2 * one, rel=0.1)
+        assert fs.loads == 2
+        assert fs.cache_hits == 0
+        assert not fs.is_cached(node, "toold")
+
+    def test_cache_mode_second_load_is_cheap(self, sim, rng):
+        costs = CostModel()
+        fs = self._fs(sim, rng, "cache")
+        node = Node(sim, "n0")
+        run_gen(sim, fs.load_image(25.0, node=node, key="toold"))
+        t_cold = sim.now
+        run_gen(sim, fs.load_image(25.0, node=node, key="toold"))
+        assert fs.is_cached(node, "toold")
+        assert fs.cache_hits == 1 and fs.cache_misses == 1
+        assert sim.now - t_cold < 10 * costs.cache_hit
+
+    def test_cache_is_per_node_and_per_key(self, sim, rng):
+        fs = self._fs(sim, rng, "cache")
+        a, b = Node(sim, "a"), Node(sim, "b")
+        run_gen(sim, fs.load_image(25.0, node=a, key="toold"))
+        run_gen(sim, fs.load_image(25.0, node=b, key="toold"))
+        run_gen(sim, fs.load_image(25.0, node=a, key="other"))
+        assert fs.loads == 3 and fs.cache_hits == 0
+
+    def test_invalidate_drops_keys(self, sim, rng):
+        fs = self._fs(sim, rng, "cache")
+        node = Node(sim, "n0")
+        run_gen(sim, fs.load_image(25.0, node=node, key="toold"))
+        fs.invalidate("toold")
+        assert not fs.is_cached(node, "toold")
+        run_gen(sim, fs.load_image(25.0, node=node, key="toold"))
+        assert fs.loads == 2
+
+    def test_broadcast_one_fs_read_for_many_nodes(self, sim, rng):
+        fs = self._fs(sim, rng, "broadcast")
+        nodes = [Node(sim, f"n{i}") for i in range(64)]
+        run_gen(sim, fs.stage_images(nodes, 25.0, "toold"))
+        assert fs.loads == 1          # exactly one shared-FS read
+        assert fs.broadcasts == 1
+        assert fs.bytes_broadcast == 63 * 25.0 * 1024 * 1024
+        assert all(fs.is_cached(n, "toold") for n in nodes)
+
+    def test_broadcast_logarithmic_vs_serial_linear(self, rng):
+        def staged_time(staging, n):
+            sim = Simulator()
+            fs = self._fs(sim, SeededRNG(7), staging)
+            nodes = [Node(sim, f"n{i}") for i in range(n)]
+            run_gen(sim, fs.stage_images(nodes, 25.0, "toold"))
+            return sim.now
+
+        serial = staged_time("shared-fs", 256)
+        bcast = staged_time("broadcast", 256)
+        assert bcast < serial / 10
+        # doubling nodes adds ~one round, not ~double
+        assert staged_time("broadcast", 512) < 1.3 * bcast
+
+    def test_broadcast_warm_set_is_noop(self, sim, rng):
+        fs = self._fs(sim, rng, "broadcast")
+        nodes = [Node(sim, f"n{i}") for i in range(8)]
+        run_gen(sim, fs.stage_images(nodes, 25.0, "toold"))
+        loads = fs.loads
+        t0 = sim.now
+        run_gen(sim, fs.stage_images(nodes, 25.0, "toold"))
+        assert fs.loads == loads
+        assert sim.now - t0 < 10 * CostModel().cache_hit
+
 
 class TestClusterAssembly:
     def test_spec_shapes_cluster(self, sim):

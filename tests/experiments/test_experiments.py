@@ -10,6 +10,7 @@ from repro.experiments import (
     run_fig3,
     run_fig5,
     run_fig6,
+    run_launch_matrix,
     run_table1,
 )
 from repro.experiments.cli import main as cli_main
@@ -146,6 +147,41 @@ class TestAblations:
         assert row["rsh_sequential"] > row["rsh_tree"] > row["rm_native"]
 
 
+class TestLaunchMatrix:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_launch_matrix(daemon_counts=(16, 64))
+
+    def _cell(self, result, daemons, strategy, staging):
+        for row in result.rows:
+            if (row["daemons"] == daemons and row["strategy"] == strategy
+                    and row["staging"] == staging):
+                return row
+        raise KeyError((daemons, strategy, staging))
+
+    def test_full_matrix_present(self, result):
+        assert len(result.rows) == 2 * 3 * 3
+
+    def test_broadcast_shrinks_image_stage(self, result):
+        sf = self._cell(result, 64, "rm-bulk", "shared-fs")
+        bc = self._cell(result, 64, "rm-bulk", "broadcast")
+        assert bc["t_image_stage"] < 0.5 * sf["t_image_stage"]
+        assert bc["total"] < sf["total"]
+
+    def test_cache_mode_pays_cold_saves_warm(self, result):
+        ca = self._cell(result, 64, "rm-bulk", "cache")
+        sf = self._cell(result, 64, "rm-bulk", "shared-fs")
+        assert ca["total"] == pytest.approx(sf["total"], rel=0.05)
+        assert ca["warm_total"] < 0.25 * ca["total"]
+
+    def test_strategy_ordering_holds_across_stagings(self, result):
+        for staging in ("shared-fs", "cache", "broadcast"):
+            seq = self._cell(result, 64, "serial-rsh", staging)
+            tree = self._cell(result, 64, "tree-rsh", staging)
+            rm = self._cell(result, 64, "rm-bulk", staging)
+            assert seq["total"] > tree["total"] > rm["total"]
+
+
 class TestCli:
     def test_cli_quick_run(self, capsys):
         assert cli_main(["table1", "--quick"]) == 0
@@ -156,6 +192,10 @@ class TestCli:
     def test_cli_multiple_experiments(self, capsys):
         assert cli_main(["A1", "--quick"]) == 0
         assert "RM debug-event scaling" in capsys.readouterr().out
+
+    def test_cli_launch_matrix_quick(self, capsys):
+        assert cli_main(["lmx", "--quick"]) == 0
+        assert "Launch matrix" in capsys.readouterr().out
 
     def test_cli_rejects_unknown(self):
         with pytest.raises(SystemExit):

@@ -111,3 +111,62 @@ class TestModelVsMeasurement:
         line = fit_component_scaling(ns, ts)
         assert line.r2 > 0.99
         assert line.slope == pytest.approx(3 * 1.2e-5, rel=0.1)
+
+
+class TestImageStagingTerms:
+    """The analytic image-staging terms match the storage layer's modes."""
+
+    def test_shared_fs_is_linear(self):
+        m = LaunchModel()
+        one = m.image_stage_time(15.0, 1)
+        assert m.image_stage_time(15.0, 512) == pytest.approx(512 * one)
+
+    def test_fs_servers_divide_serial_term(self):
+        assert LaunchModel(fs_servers=4).image_stage_time(15.0, 64) == \
+            pytest.approx(LaunchModel().image_stage_time(15.0, 64) / 4)
+
+    def test_broadcast_is_logarithmic(self):
+        m = LaunchModel(staging="broadcast")
+        t64 = m.image_stage_time(15.0, 64)
+        t512 = m.image_stage_time(15.0, 512)
+        assert t512 < 2 * t64
+        assert t512 < LaunchModel().image_stage_time(15.0, 512) / 10
+
+    def test_cache_cold_equals_serial_warm_near_free(self):
+        m = LaunchModel(staging="cache")
+        cold = m.image_stage_time(15.0, 64)
+        assert cold == pytest.approx(LaunchModel().image_stage_time(15.0, 64))
+        warm = m.image_stage_time(15.0, 64, warm_nodes=64)
+        assert warm < cold / 50
+
+    def test_per_call_staging_override(self):
+        m = LaunchModel()
+        assert m.image_stage_time(15.0, 256, staging="broadcast") < \
+            m.image_stage_time(15.0, 256)
+
+    def test_broadcast_term_tracks_simulation(self):
+        from repro.cluster import Cluster, ClusterSpec
+        from repro.simx import Simulator
+        from tests.conftest import run_gen
+
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterSpec(n_compute=256, seed=5,
+                                           staging_mode="broadcast"))
+        run_gen(sim, cluster.fs.stage_images(cluster.compute, 15.0, "toold"))
+        predicted = LaunchModel(
+            staging="broadcast").image_stage_time(15.0, 256)
+        assert sim.now == pytest.approx(predicted, rel=0.15)
+
+    def test_default_predictions_unchanged_by_staging_param(self):
+        inp = ModelInputs(128, daemon_image_mb=DAEMON_IMAGE_MB)
+        classic = LaunchModel().predict(inp)
+        explicit = LaunchModel(staging="shared-fs").predict(inp)
+        assert classic.t_daemon == explicit.t_daemon
+        assert classic.total == explicit.total
+
+    def test_unknown_staging_mode_rejected(self):
+        from repro.cluster import StagingError
+        with pytest.raises(StagingError, match="unknown staging mode"):
+            LaunchModel(staging="bcast")
+        with pytest.raises(StagingError, match="unknown staging mode"):
+            LaunchModel().image_stage_time(15.0, 8, staging="Broadcast")

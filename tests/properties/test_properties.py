@@ -2,6 +2,7 @@
 
 import json
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.be.iccl import TreeTopology
@@ -182,6 +183,94 @@ class TestTopologyProperties:
         t = TBONTopology.one_deep(n)
         assert TBONTopology.from_jsonable(
             json.loads(json.dumps(t.to_jsonable()))) == t
+
+
+# -- TBON topology construction invariants -----------------------------------
+
+
+class TestTBONTopologyProperties:
+    """Balanced fan-out trees must satisfy the structural invariants the
+    constructor validates, at every (n_backends, fanout) combination."""
+
+    sizes = st.integers(min_value=1, max_value=400)
+    fanouts = st.integers(min_value=2, max_value=32)
+
+    @given(sizes, fanouts)
+    def test_balanced_has_exactly_n_backends(self, n, fanout):
+        t = TBONTopology.balanced(n, fanout)
+        assert len(t.backends()) == n
+        assert t.size == 1 + len(t.comm_positions()) + n
+
+    @given(sizes, fanouts)
+    def test_balanced_roundtrips_through_wire_form(self, n, fanout):
+        t = TBONTopology.balanced(n, fanout)
+        assert TBONTopology.from_jsonable(
+            json.loads(json.dumps(t.to_jsonable()))) == t
+
+    @given(sizes, fanouts)
+    def test_balanced_parent_kind_invariants(self, n, fanout):
+        """Re-validating the constructed tuples exercises every
+        __post_init__ rule: root position, parent bounds, leaves are BEs,
+        internals are fe/comm."""
+        t = TBONTopology.balanced(n, fanout)
+        assert TBONTopology(t.parent, t.kind) == t
+        assert t.parent[0] is None and t.kind[0] == "fe"
+        for p in range(1, t.size):
+            assert 0 <= t.parent[p] < t.size and t.parent[p] != p
+        for be in t.backends():
+            assert not t.children(be)
+        for comm in t.comm_positions():
+            assert t.children(comm)
+
+    @given(sizes, fanouts)
+    def test_balanced_respects_fanout_and_depth(self, n, fanout):
+        t = TBONTopology.balanced(n, fanout)
+        # comm layer: each comm daemon serves at most fanout back ends,
+        # and the whole tree is at most two levels deep
+        for comm in t.comm_positions():
+            assert len(t.children(comm)) <= fanout
+        assert t.depth() <= 2
+
+    @given(sizes, fanouts)
+    def test_balanced_is_spanning(self, n, fanout):
+        """Every position walks parent links back to the root (no cycles,
+        no orphans)."""
+        t = TBONTopology.balanced(n, fanout)
+        for p in range(t.size):
+            hops, q = 0, p
+            while t.parent[q] is not None:
+                q = t.parent[q]
+                hops += 1
+                assert hops <= t.size
+            assert q == 0
+
+    @given(sizes, fanouts, st.data())
+    @settings(max_examples=60)
+    def test_mutations_fail_validation(self, n, fanout, data):
+        """Random structural corruption is rejected by __post_init__."""
+        from repro.tbon.topology import TopologyError
+
+        t = TBONTopology.balanced(n, fanout)
+        mutation = data.draw(st.sampled_from(
+            ["self-parent", "rootless", "be-internal", "comm-leaf"]))
+        parent, kind = list(t.parent), list(t.kind)
+        if mutation == "self-parent":
+            pos = data.draw(st.integers(min_value=1, max_value=t.size - 1))
+            parent[pos] = pos
+        elif mutation == "rootless":
+            parent[0] = 0
+        elif mutation == "be-internal":
+            be = data.draw(st.sampled_from(t.backends()))
+            kind[be] = "comm"  # a leaf that is not a back end
+        elif mutation == "comm-leaf":
+            # point every backend at the root: comm daemons become leaves
+            comms = t.comm_positions()
+            if not comms:
+                return  # one-deep shape: nothing to orphan
+            for be in t.backends():
+                parent[be] = 0
+        with pytest.raises(TopologyError):
+            TBONTopology(tuple(parent), tuple(kind))
 
 
 # -- DES determinism ----------------------------------------------------------------
