@@ -1,0 +1,135 @@
+"""Resilience bench: a 512-daemon launch must survive 2% node failures.
+
+Asserts the headline recovery claims of the fault-injection subsystem:
+
+* under ``tree-rsh`` **with repair** (LaunchPolicy: per-daemon timeout,
+  bounded retry + backoff, blacklisting, min-daemon fraction, plus the
+  strategy's launch-time subtree re-rooting), a 512-daemon session-level
+  launch at a 2% node-failure rate *completes* -- the session ends
+  ``DEGRADED`` (or READY if the seeded crashes all miss), within a bounded
+  slowdown over the fault-free run, with every failure and retry
+  attributed per index and per phase in the ``LaunchReport``;
+* under ``serial-rsh`` **without retry** (the legacy ad-hoc contract), the
+  same fault rate kills the launch -- the session ends ``FAILED``;
+* the TBON overlay self-repairs after internal-node deaths: all surviving
+  leaves stay connected and a reduction wave still merges, with the repair
+  cost landing in the report's ``t_repair`` phase.
+
+Under pytest-benchmark the series lands in ``extra_info`` (JSON via
+``--benchmark-json``); run the file directly for plain JSON on stdout:
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py [--quick]
+"""
+
+import json
+import sys
+
+import pytest
+
+from repro.experiments.resilience import (
+    DAEMON_IMAGE_MB,
+    measure_resilient_launch,
+    measure_tbon_repair,
+)
+
+N_DAEMONS = 512
+QUICK_DAEMONS = 64
+FAULT_RATE = 0.02
+#: a resilient faulted launch must finish within this factor of fault-free
+SLOWDOWN_BOUND = 3.0
+
+
+def resilience_series(n_daemons=N_DAEMONS, fault_rate=FAULT_RATE,
+                      image_mb=DAEMON_IMAGE_MB):
+    """The benchmark's payload as a JSON-able dict."""
+    baseline = measure_resilient_launch(
+        "tree-rsh", n_daemons, 0.0, repair=True, image_mb=image_mb)
+    window = (baseline["report"] or {}).get("total", 1.0)
+    repaired = measure_resilient_launch(
+        "tree-rsh", n_daemons, fault_rate, repair=True,
+        image_mb=image_mb, spawn_window=window)
+    serial_baseline = measure_resilient_launch(
+        "serial-rsh", n_daemons, 0.0, repair=False, image_mb=image_mb)
+    serial_window = (serial_baseline["report"] or {}).get("total", 1.0)
+    fragile = measure_resilient_launch(
+        "serial-rsh", n_daemons, fault_rate, repair=False,
+        image_mb=image_mb, spawn_window=serial_window)
+    tbon = measure_tbon_repair(n_backends=max(16, n_daemons // 4),
+                               fanout=8, n_comm_kill=2)
+    return {
+        "config": {
+            "n_daemons": n_daemons, "fault_rate": fault_rate,
+            "image_mb": image_mb, "slowdown_bound": SLOWDOWN_BOUND,
+        },
+        "tree_rsh_faultfree": baseline,
+        "tree_rsh_repaired": repaired,
+        "serial_rsh_faultfree": serial_baseline,
+        "serial_rsh_fragile": fragile,
+        "tbon_repair": tbon,
+    }
+
+
+def check_claims(payload) -> None:
+    """The recovery claims, assertable on any payload size."""
+    base = payload["tree_rsh_faultfree"]
+    rep = payload["tree_rsh_repaired"]
+    fragile = payload["serial_rsh_fragile"]
+    bound = payload["config"]["slowdown_bound"]
+
+    # tree-rsh + repair completes despite the crashes...
+    assert rep["state"] in ("degraded", "ready"), rep["state"]
+    # ...within a bounded slowdown over fault-free...
+    assert rep["t_attach"] <= bound * base["t_attach"]
+    # ...meeting the 80% acceptance floor
+    assert rep["up"] >= 0.8 * payload["config"]["n_daemons"]
+    # failures and retries are attributed, not guessed: every requested
+    # index has an outcome, and the counts reconcile
+    report = rep["report"]
+    assert report is not None
+    if rep["n_failed"]:
+        assert len(rep["outcomes"]) == report["requested"]
+        assert rep["up"] + rep["n_failed"] == report["requested"]
+        assert rep["n_retried"] > 0
+        assert rep["blacklisted"]
+    # the per-phase breakdown is present alongside the failure attribution
+    for phase in ("t_spawn", "t_image_stage", "t_handshake", "t_repair"):
+        assert phase in report
+
+    # serial-rsh without retry does not survive the same fault rate
+    assert fragile["state"] == "failed"
+
+    # the TBON self-repair preserves every surviving leaf and still merges
+    tbon = payload["tbon_repair"]
+    assert tbon["leaves_after"] == tbon["leaves_before"]
+    assert tbon["wave_merged"] == tbon["leaves_after"]
+    assert tbon["n_reparented"] > 0
+    assert tbon["report"]["t_repair"] > 0.0
+
+
+@pytest.mark.benchmark(group="resilience")
+def bench_resilience_512(benchmark):
+    """Full-size run; asserts every recovery claim."""
+    payload = benchmark.pedantic(resilience_series, rounds=1, iterations=1)
+    rep = payload["tree_rsh_repaired"]
+    benchmark.extra_info["state"] = rep["state"]
+    benchmark.extra_info["up"] = rep["up"]
+    benchmark.extra_info["n_failed"] = rep["n_failed"]
+    benchmark.extra_info["n_retried"] = rep["n_retried"]
+    benchmark.extra_info["t_attach_faultfree"] = round(
+        payload["tree_rsh_faultfree"]["t_attach"], 4)
+    benchmark.extra_info["t_attach_repaired"] = round(rep["t_attach"], 4)
+    benchmark.extra_info["tbon_t_repair"] = round(
+        payload["tbon_repair"]["t_repair"], 6)
+    check_claims(payload)
+
+
+def main(argv=None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    n = QUICK_DAEMONS if "--quick" in argv else N_DAEMONS
+    payload = resilience_series(n_daemons=n)
+    check_claims(payload)
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main()

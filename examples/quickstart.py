@@ -73,6 +73,15 @@ def main():
     print(f"\nLaunchMON's own share: {100 * t.launchmon_fraction():.1f}% "
           f"of {t.total:.3f} s  (paper: ~5.2% at 128 daemons)")
 
+    # every session also keeps the RM's daemon-spawn phase attribution
+    # (see examples/resilience_demo.py for the failure-attribution face)
+    report = session.launch_report
+    print(f"\ndaemon-spawn phases ({report.mechanism}, "
+          f"dominant: {report.dominant_phase()}):")
+    for phase, seconds in report.phases().items():
+        if seconds:
+            print(f"  {phase:14s} {seconds:8.4f} s")
+
 
 if __name__ == "__main__":
     main()

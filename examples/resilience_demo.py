@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Resilience demo: a callback-driven launch that survives node crashes.
+
+A 64-node cluster with a :class:`~repro.cluster.FaultPlan`: 6% of the
+compute nodes crash while the tool's daemon set is spawning. The resource
+manager runs under a :class:`~repro.launch.LaunchPolicy` (per-daemon
+timeout, bounded retry with backoff, node blacklisting, a
+``min_daemon_fraction`` acceptance threshold), so instead of collapsing,
+the launch routes around the dead nodes and the session comes up
+**DEGRADED** -- with ``LMON_fe_regStatusCB``-style callbacks announcing
+every state transition, and ``session.launch_report`` attributing the
+outcome per phase (t_spawn / t_image_stage / ... / t_repair) and per
+daemon index (ok / failed / skipped, retries, blacklisted nodes).
+
+Run:  python examples/resilience_demo.py
+"""
+
+from repro import DaemonSpec, ToolFrontEnd, drive, make_env
+from repro.apps import make_compute_app
+from repro.be import BackEnd
+from repro.cluster import ClusterSpec, FaultPlan
+from repro.launch import LaunchPolicy
+
+N_NODES = 64
+CRASH_RATE = 0.06
+
+
+def tool_daemon(ctx):
+    """A well-behaved daemon; the fabric is built over the survivors."""
+    be = BackEnd(ctx)
+    yield from be.init()
+    yield from be.ready()
+    if be.am_i_master():
+        yield from be.send_usrdata({"daemons_up": be.get_size()})
+    yield from be.finalize()
+
+
+def main():
+    plan = FaultPlan(crash_rate=CRASH_RATE, crash_window=(0.0, 0.8),
+                     auto_arm=False)  # armed when the spawn begins
+    policy = LaunchPolicy(per_daemon_timeout=5.0, max_retries=2,
+                          retry_backoff=0.05, min_daemon_fraction=0.8,
+                          handshake_timeout=30.0)
+    env = make_env(n_compute=N_NODES,
+                   spec=ClusterSpec(n_compute=N_NODES, fault_plan=plan),
+                   policy=policy, launch_strategy="tree-rsh")
+    app = make_compute_app(n_tasks=N_NODES * 2, tasks_per_node=2)
+    spec = DaemonSpec("resilient_be", main=tool_daemon, image_mb=6.0)
+    results = {}
+
+    def announce(session, old, new):
+        print(f"  t={env.sim.now:7.3f}s  session {session.id}: "
+              f"{old.value} -> {new.value}")
+
+    def tool(env):
+        fe = ToolFrontEnd(env.cluster, env.rm, "restool")
+        yield from fe.init()
+        job = yield from env.rm.launch_job(app, env.rm.allocate(N_NODES))
+        env.cluster.faults.arm()  # the crash clock starts with the spawn
+        session = fe.create_session()
+        fe.register_status_cb(session, announce)
+        yield from fe.attach_and_spawn(session, job, spec)
+        results["report"] = yield from fe.recv_usrdata_be(session)
+        results["session"] = session
+        yield from fe.detach(session)
+
+    print(f"=== tree-rsh launch of {N_NODES} daemons with "
+          f"{CRASH_RATE:.0%} node-crash rate ===\n")
+    drive(env, tool(env))
+
+    session = results["session"]
+    report = session.launch_report
+    stats = env.cluster.faults.stats
+    print(f"\nsession state: {session.state.value} "
+          f"({report.n_daemons}/{report.requested} daemons up; "
+          f"master counted {results['report']['daemons_up']})")
+    print(f"faults injected: {stats.crashes} node crashes, "
+          f"{stats.procs_killed} processes killed")
+    print(f"recovery: {report.n_retried} retries, "
+          f"{report.n_blacklisted} nodes blacklisted "
+          f"{report.blacklisted}")
+    print(f"failed daemon indices: {report.failed_indices()}")
+    print("\nper-phase attribution (virtual seconds):")
+    for phase, seconds in report.phases().items():
+        print(f"  {phase:>14}: {seconds:8.4f}")
+    print(f"  {'total':>14}: {report.total:8.4f} "
+          f"(dominant: {report.dominant_phase()})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in docs/ and README.md resolves.
+
+Scans ``[text](target)`` links; external targets (http/https/mailto) and
+pure in-page anchors (``#...``) are skipped, everything else must name an
+existing file relative to the page that links it (a ``#fragment`` suffix
+is stripped first). Exits non-zero listing every broken link, so CI fails
+when a doc page is renamed without fixing its inbound references.
+
+Usage: python scripts/check_doc_links.py [page.md ...]
+       (no arguments: README.md + docs/*.md)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def broken_links(page: Path) -> list[str]:
+    broken = []
+    text = page.read_text(encoding="utf-8")
+    # fenced code blocks hold example syntax, not navigable links
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        if not (page.parent / path).exists():
+            broken.append(f"{page}: broken link -> {target}")
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    pages = ([Path(a) for a in argv]
+             if argv else [root / "README.md", *sorted(
+                 (root / "docs").glob("*.md"))])
+    failures: list[str] = []
+    for page in pages:
+        failures.extend(broken_links(page))
+    for line in failures:
+        print(line, file=sys.stderr)
+    print(f"checked {len(pages)} page(s): "
+          f"{'FAIL' if failures else 'ok'} ({len(failures)} broken)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

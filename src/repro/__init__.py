@@ -19,6 +19,13 @@ producing a per-phase :class:`LaunchReport`), and daemon images reach the
 nodes through the storage layer's staging modes
 (:class:`ClusterSpec.staging_mode`: ``shared-fs`` / ``cache`` /
 ``broadcast`` -- see ``repro.experiments.launchmatrix`` for the sweep).
+Faults are first-class: a :class:`FaultPlan` on the cluster spec injects
+node crashes, stragglers, link flaps and FS stalls, and a
+:class:`LaunchPolicy` on the resource manager (timeout / retry /
+blacklist / min-daemon fraction) launches through them -- sessions land
+``DEGRADED`` instead of dead, the TBON self-repairs, and
+``repro.experiments.resilience`` sweeps the whole regime (``docs/`` has
+the guided tour).
 
 Quick start (blocking, single tool)::
 
@@ -65,8 +72,14 @@ from repro.rm import (
     SlurmConfig,
     SlurmRM,
 )
-from repro.cluster import Cluster, ClusterSpec, CostModel
-from repro.launch import LaunchReport, LaunchRequest, LaunchStrategy, get_strategy
+from repro.cluster import Cluster, ClusterSpec, CostModel, FaultPlan
+from repro.launch import (
+    LaunchPolicy,
+    LaunchReport,
+    LaunchRequest,
+    LaunchStrategy,
+    get_strategy,
+)
 from repro.apps import AppSpec, make_compute_app, make_hang_app, make_io_heavy_app
 
 __version__ = "1.1.0"
@@ -81,7 +94,9 @@ __all__ = [
     "ClusterSpec",
     "CostModel",
     "DaemonSpec",
+    "FaultPlan",
     "LMONSession",
+    "LaunchPolicy",
     "LaunchReport",
     "LaunchRequest",
     "LaunchStrategy",

@@ -18,6 +18,11 @@ reproduce the substrate as a deterministic discrete-event model:
   staging (``ClusterSpec.staging_mode``).
 * :class:`Cluster` -- front-end node + compute nodes + network, built from a
   :class:`ClusterSpec`.
+* :mod:`repro.cluster.faults` -- the fault model: a :class:`FaultPlan` on
+  the spec schedules node crashes, straggler slow-downs, transient
+  rsh/link failures and shared-FS stall windows as simulation events, with
+  per-fault statistics (``cluster.faults.stats``). No plan, no hooks:
+  fault-free runs are bit-identical to a build without fault injection.
 
 All timing constants live in :class:`CostModel` (see ``costs.py``) and are
 calibrated against the paper's measured curves; DESIGN.md Section 2 records
@@ -26,8 +31,23 @@ each substitution.
 
 from repro.cluster.costs import CostModel
 from repro.cluster.process import ProcState, ProcStats, SimProcess, DebugEvent, DebugEventType
-from repro.cluster.node import ForkError, Node, RemoteExecError
+from repro.cluster.node import (
+    ForkError,
+    Node,
+    NodeDown,
+    NodeTaggedError,
+    RemoteExecError,
+)
 from repro.cluster.network import Network, Pipe
+from repro.cluster.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    FsStall,
+    LinkFlap,
+    NodeCrash,
+    Straggler,
+)
 from repro.cluster.cluster import (
     Cluster,
     ClusterSpec,
@@ -45,14 +65,20 @@ __all__ = [
     "StagingError",
     "DebugEvent",
     "DebugEventType",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
     "ForkError",
+    "FsStall",
+    "LinkFlap",
     "Network",
     "Node",
-    "Pipe",
-    "ProcState",
-    "ProcStats",
+    "NodeCrash",
+    "NodeDown",
+    "NodeTaggedError",
     "RemoteExecError",
     "SharedFilesystem",
     "SimProcess",
+    "Straggler",
     "procfs",
 ]

@@ -29,6 +29,7 @@ from typing import Any, Generator, Optional, Sequence
 
 from repro.simx import Resource, SeededRNG, Simulator
 from repro.cluster.costs import CostModel
+from repro.cluster.faults import FaultInjector, FaultPlan
 from repro.cluster.network import Network
 from repro.cluster.node import Node
 
@@ -54,6 +55,9 @@ class ClusterSpec:
     matching Figure 6. MPP-style variants set ``compute_rshd=False``.
     ``staging_mode`` selects how daemon images reach the nodes (see the
     module docstring); ``shared-fs`` is the paper's measured behaviour.
+    ``fault_plan`` attaches a :class:`~repro.cluster.faults.FaultPlan`
+    (node crashes, stragglers, link flaps, FS stalls); None -- the default
+    -- injects nothing and keeps runs bit-identical to a fault-free build.
     """
 
     n_compute: int = 128
@@ -66,6 +70,7 @@ class ClusterSpec:
     fs_servers: int = 1
     staging_mode: str = "shared-fs"
     bcast_fanout: int = 0  # 0 = take CostModel.bcast_fanout
+    fault_plan: Optional[FaultPlan] = None
     seed: int = 1
 
 
@@ -97,6 +102,8 @@ class SharedFilesystem:
         self._servers = Resource(sim, capacity=max(1, servers), name="fs")
         self.staging = staging
         self.bcast_fanout = max(2, bcast_fanout or costs.bcast_fanout)
+        #: fault injector hook (set by the owning Cluster; None = no faults)
+        self.faults = None
         #: node name -> set of image keys resident in that node's cache
         self._node_cache: dict[str, set[str]] = {}
         self.loads = 0
@@ -164,6 +171,12 @@ class SharedFilesystem:
             self._servers.cancel(req)
             raise
         try:
+            if self.faults is not None:
+                # an FS brown-out window: reads starting inside it stall
+                # until it ends (per-daemon launch timeouts are the escape)
+                stall = self.faults.fs_stall_remaining()
+                if stall > 0.0:
+                    yield self.sim.timeout(stall)
             nbytes = image_mb * 1024 * 1024
             self.loads += 1
             self.bytes_served += nbytes
@@ -269,6 +282,14 @@ class Cluster:
             for i in range(self.spec.n_compute)
         ]
         self._by_name = {n.name: n for n in [self.front_end, *self.compute]}
+        #: fault injector (None without a plan -- or with an empty one:
+        #: zero hooks fire, runs stay bit-identical to a fault-free build)
+        self.faults: Optional[FaultInjector] = None
+        if self.spec.fault_plan is not None and not self.spec.fault_plan.empty:
+            self.faults = FaultInjector(self, self.spec.fault_plan)
+            self.fs.faults = self.faults
+            if self.spec.fault_plan.auto_arm:
+                self.faults.arm()
 
     # -- lookup -----------------------------------------------------------
     def node(self, name: str) -> Node:

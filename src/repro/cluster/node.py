@@ -11,28 +11,65 @@ Two behaviours here carry the paper's arguments:
   don't run rshd on compute nodes; ``Node.rshd_enabled = False`` makes any
   rsh-based launcher fail with :class:`RemoteExecError`, which is the
   portability argument for RM-based launching (Section 2).
+
+A third behaviour supports the fault model (:mod:`repro.cluster.faults`):
+a node can *fail* (:meth:`Node.fail`), after which every process on it is
+killed, registered daemon bodies are interrupted, and any later
+fork/rsh against it raises :class:`NodeDown`. Straggler nodes scale their
+local fork/exec costs by ``cost_factor`` (1.0 -- the exact identity -- when
+healthy, so fault-free runs are bit-identical).
 """
 
 from __future__ import annotations
 
 from typing import Any, Generator, Optional, TYPE_CHECKING
 
-from repro.simx import SeededRNG, Simulator
+from repro.simx import Interrupt, SeededRNG, Simulator
 from repro.cluster.costs import CostModel
 from repro.cluster.process import SimProcess
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import Cluster
 
-__all__ = ["ForkError", "Node", "RemoteExecError"]
+__all__ = ["ForkError", "Node", "NodeDown", "NodeTaggedError",
+           "RemoteExecError"]
 
 
-class ForkError(OSError):
-    """fork() failed (process table exhausted) -- models EAGAIN."""
+class NodeTaggedError(OSError):
+    """An OS-level failure attributable to one host.
+
+    ``node`` names the culpable host; resilient launches consult it to
+    decide whether an exhausted failure condemns the *target* node on the
+    blacklist -- a source-side failure (the front end's own process table
+    filling) carries the source's name and must not blacklist a healthy
+    target. Every spawn-path fault exception derives from this class so
+    the attribution is a typed guarantee, not a ``getattr`` convention.
+    """
+
+    def __init__(self, *args, node: str = ""):
+        super().__init__(*args)
+        self.node = node
 
 
-class RemoteExecError(OSError):
-    """Remote execution service unavailable or connection refused."""
+class ForkError(NodeTaggedError):
+    """fork() failed (process table exhausted) -- models EAGAIN.
+
+    ``node`` is the host the fork failed *on* -- for an rsh spawn that may
+    be the source (forking the rsh client) rather than the target.
+    """
+
+
+class RemoteExecError(NodeTaggedError):
+    """Remote execution service unavailable or connection refused.
+
+    ``node`` names the unreachable target."""
+
+
+class NodeDown(NodeTaggedError):
+    """The node has failed (crashed / powered off): every local fork and
+    every remote attempt against it fails until the end of the simulation.
+    Injected by :mod:`repro.cluster.faults`. ``node`` names the dead
+    host."""
 
 
 class Node:
@@ -58,6 +95,14 @@ class Node:
         self._uid_counts: dict[str, int] = {}
         #: diagnostics: high-water mark of any single user's processes
         self.max_uid_procs_seen = 0
+        #: fault state: a failed node rejects all fork/rsh with NodeDown
+        self.failed = False
+        self.fail_reason = ""
+        #: straggler multiplier on local fork/exec costs (1.0 = healthy)
+        self.cost_factor = 1.0
+        #: simulation processes (daemon bodies, routers) hosted here, to be
+        #: interrupted when the node fails -- see register_body()
+        self._resident_bodies: list = []
 
     # -- inspection -----------------------------------------------------------
     def user_proc_count(self, uid: str = "user") -> int:
@@ -68,6 +113,44 @@ class Node:
         return [p for p in self.procs.values()
                 if p.alive and p.executable.startswith(executable_prefix)]
 
+    # -- failure ----------------------------------------------------------
+    def register_body(self, sim_proc) -> None:
+        """Register a simulation process (a daemon body, a TBON router)
+        as *resident* on this node, so :meth:`fail` can interrupt it --
+        code does not keep running on dead hardware. Finished residents
+        are pruned here, bounding the list on long-lived nodes that host
+        many generations of daemons."""
+        if any(not body.is_alive for body in self._resident_bodies):
+            self._resident_bodies = [body for body in self._resident_bodies
+                                     if body.is_alive]
+        self._resident_bodies.append(sim_proc)
+
+    def fail(self, reason: str = "node failure") -> tuple[int, int]:
+        """Take the node down: kill every process (SIGKILL, freeing their
+        process-table slots via the normal reap path), interrupt resident
+        simulation bodies, and reject all later fork/rsh with
+        :class:`NodeDown`. Returns ``(procs_killed, bodies_interrupted)``;
+        idempotent."""
+        if self.failed:
+            return 0, 0
+        self.failed = True
+        self.fail_reason = reason
+        killed = 0
+        for proc in list(self.procs.values()):
+            if proc.alive:
+                proc.exit(137)
+                killed += 1
+        interrupted = 0
+        for body in self._resident_bodies:
+            if body.is_alive:
+                # the interrupt is the body's death notice; defuse so an
+                # uncaught Interrupt cannot detonate the whole run
+                body.defuse()
+                body.interrupt(f"{self.name}: {reason}")
+                interrupted += 1
+        self._resident_bodies.clear()
+        return killed, interrupted
+
     # -- fork/exec ---------------------------------------------------------------
     def fork_exec(self, executable: str, args: tuple = (),
                   uid: str = "user", parent: Optional[SimProcess] = None,
@@ -77,24 +160,35 @@ class Node:
 
         Raises :class:`ForkError` immediately (before any time passes) if the
         user's process-table quota is exhausted -- fork returns EAGAIN without
-        blocking on real systems.
+        blocking on real systems -- and :class:`NodeDown` if the node has
+        failed (including mid-fork: a node dying under a fork in flight
+        returns the reserved slot and raises).
         """
+        if self.failed:
+            raise NodeDown(f"fork on {self.name}: node is down "
+                           f"({self.fail_reason})", node=self.name)
         count = self._uid_counts.get(uid, 0)
         if count >= self.max_user_procs:
             raise ForkError(
                 f"fork on {self.name}: user {uid!r} at process limit "
-                f"({count}/{self.max_user_procs})")
+                f"({count}/{self.max_user_procs})", node=self.name)
         self._uid_counts[uid] = count + 1
         self.max_uid_procs_seen = max(self.max_uid_procs_seen, count + 1)
 
         try:
             yield self.sim.timeout(
-                self.rng.jitter(self.costs.fork_exec, self.costs.fork_jitter))
+                self.rng.jitter(self.costs.fork_exec * self.cost_factor,
+                                self.costs.fork_jitter))
         except BaseException:
             # fork aborted (e.g. the spawning process was interrupted):
             # return the reserved process-table slot
             self._uid_counts[uid] = max(0, self._uid_counts.get(uid, 1) - 1)
             raise
+        if self.failed:
+            # the node died while the fork was in flight
+            self._uid_counts[uid] = max(0, self._uid_counts.get(uid, 1) - 1)
+            raise NodeDown(f"fork on {self.name}: node died mid-fork "
+                           f"({self.fail_reason})", node=self.name)
 
         pid = self._next_pid
         self._next_pid += 1
@@ -129,20 +223,45 @@ class Node:
         MRNet behaviour) the client stays alive to carry the remote stdio,
         pinning a process-table slot on this node for the daemon's lifetime.
 
-        Raises :class:`RemoteExecError` if the target runs no rshd, and
-        propagates :class:`ForkError` from the local fork.
+        Raises :class:`RemoteExecError` if the target runs no rshd (or on a
+        transient injected link fault), :class:`NodeDown` if the target has
+        failed, and propagates :class:`ForkError` from the local fork.
         """
         if not target.rshd_enabled:
             raise RemoteExecError(
                 f"{target.name}: connection refused (no remote access "
-                f"service on this platform)")
+                f"service on this platform)", node=target.name)
+        if target.failed:
+            raise NodeDown(f"{target.name}: no route to host "
+                           f"({target.fail_reason})", node=target.name)
         client = yield from self.fork_exec(
             "rsh", args=(target.name, executable), uid=uid, image_mb=0.5)
-        yield self.sim.timeout(self.rng.jitter(self.costs.rsh_fork_overhead))
-        # connection + authentication round trips
-        yield self.sim.timeout(self.rng.jitter(self.costs.rsh_connect))
-        remote = yield from target.fork_exec(
-            executable, args=args, uid=uid, image_mb=image_mb)
+        try:
+            yield self.sim.timeout(
+                self.rng.jitter(self.costs.rsh_fork_overhead))
+            faults = self.cluster.faults if self.cluster is not None else None
+            if faults is not None and faults.rsh_attempt_fails(self, target):
+                # transient link fault: the connect attempt is paid for,
+                # then resets; the client exits so its slot is not leaked
+                yield self.sim.timeout(
+                    self.rng.jitter(self.costs.rsh_connect))
+                client.exit(1)
+                raise RemoteExecError(
+                    f"{self.name} -> {target.name}: connection reset "
+                    f"(transient link fault)", node=target.name)
+            # connection + authentication round trips
+            yield self.sim.timeout(self.rng.jitter(self.costs.rsh_connect))
+            remote = yield from target.fork_exec(
+                executable, args=args, uid=uid, image_mb=image_mb)
+        except (NodeDown, Interrupt, GeneratorExit):
+            # the target died under the connection, or the whole attempt
+            # was aborted (e.g. a per-daemon launch timeout): tear the
+            # client down so its process-table slot cannot leak. The
+            # historical remote-ForkError leak is deliberately preserved
+            # (the ad-hoc clients really did linger on such failures).
+            if client.alive:
+                client.exit(1)
+            raise
         if not hold_client:
             client.exit(0)
             client = None

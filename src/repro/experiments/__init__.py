@@ -15,6 +15,7 @@ A3        ablation: launcher mechanisms (rsh-seq, rsh-tree, RM)
 A4        extension: Jobsnap collection over a TBON (paper future work)
 mt        extension: multi-tenant ToolService throughput + latency sweep
 lmx       extension: launch strategy x image-staging matrix (per-phase)
+res       extension: fault-rate x strategy x repair resilience sweep
 ========  ==========================================================
 
 Run from the command line: ``python -m repro.experiments fig3`` (or the
@@ -25,6 +26,7 @@ from repro.experiments.common import ExperimentResult, percentile
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.launchmatrix import run_launch_matrix
 from repro.experiments.multitenant import run_multitenant
+from repro.experiments.resilience import run_resilience
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
 from repro.experiments.table1 import run_table1
@@ -46,6 +48,7 @@ __all__ = [
     "run_fig6",
     "run_launch_matrix",
     "run_multitenant",
+    "run_resilience",
     "run_table1",
     "percentile",
 ]

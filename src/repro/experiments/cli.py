@@ -15,6 +15,7 @@ from repro.experiments import (
     run_fig6,
     run_launch_matrix,
     run_multitenant,
+    run_resilience,
     run_table1,
 )
 
@@ -32,6 +33,8 @@ QUICK_SWEEPS = {
     "mt": dict(tenant_counts=(1, 4, 8), n_compute=32,
                nodes_per_session=4),
     "lmx": dict(daemon_counts=(16, 64)),
+    "res": dict(daemon_counts=(32,), fault_rates=(0.0, 0.05),
+                strategies=("serial-rsh", "tree-rsh")),
 }
 
 RUNNERS = {
@@ -45,6 +48,7 @@ RUNNERS = {
     "A4": run_ablation_jobsnap_tbon,
     "mt": run_multitenant,
     "lmx": run_launch_matrix,
+    "res": run_resilience,
 }
 
 

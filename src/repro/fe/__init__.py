@@ -22,6 +22,15 @@ Two faces of the same API:
   callbacks on every :class:`SessionState` transition. This is the
   multi-tenant face: N sessions interleave on one cluster, queueing FIFO
   for nodes and (optionally) for service admission.
+
+Sessions carry their spawn cost breakdown (``session.launch_report`` /
+``SessionHandle.launch_report``, a :class:`~repro.launch.LaunchReport`
+with per-phase and -- under a resilient launch policy -- per-daemon-index
+attribution). When the resource manager runs under a
+:class:`~repro.launch.LaunchPolicy` and nodes crash mid-launch, a partial
+daemon set that meets ``min_daemon_fraction`` lands the session in the
+``DEGRADED`` state instead of failing it; see :mod:`repro.fe.session` for
+the full state machine and ``docs/failure-modes.md`` for the fault model.
 """
 
 from repro.fe.session import LMONSession, SessionState, StatusCallback

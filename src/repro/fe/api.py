@@ -61,7 +61,7 @@ from repro.lmonp import (
 from repro.mpir import RPDTAB
 from repro.mw.context import MWContext
 from repro.rm.base import DaemonSpec, JobState, ResourceManager, RMJob
-from repro.simx import Store
+from repro.simx import Store, run_bounded
 
 __all__ = ["FrontEndError", "ToolFrontEnd"]
 
@@ -164,7 +164,8 @@ class ToolFrontEnd:
             msg = yield from engine_stream.expect(FeToEngine.PROCTAB)
             session.rpdtab = RPDTAB.from_bytes(msg.lmon_payload)
 
-            yield from self._be_handshake(session, rendezvous, usr_data)
+            yield from self._be_handshake_guarded(session, rendezvous,
+                                                  usr_data)
         except BaseException:
             # a failed launch must not strand its nodes: queued sessions
             # behind this one would deadlock on the allocation queue.
@@ -176,7 +177,7 @@ class ToolFrontEnd:
             self._fail_session(session, engine)
             raise
         self._finish_timings(session)
-        session.state = SessionState.READY
+        session.state = self._spawned_state(session)
         return session
 
     def attach_and_spawn(self, session: LMONSession, job: RMJob,
@@ -201,20 +202,26 @@ class ToolFrontEnd:
             msg = yield from engine_stream.expect(FeToEngine.PROCTAB)
             session.rpdtab = RPDTAB.from_bytes(msg.lmon_payload)
 
-            yield from self._be_handshake(session, rendezvous, usr_data)
+            yield from self._be_handshake_guarded(session, rendezvous,
+                                                  usr_data)
         except BaseException:
             self._fail_session(session, engine)
             raise
         self._finish_timings(session)
-        session.state = SessionState.READY
+        session.state = self._spawned_state(session)
         return session
 
     def launch_mw_daemons(self, session: LMONSession, mw_spec: DaemonSpec,
                           n_nodes: int, usr_data: Any = None,
                           topology: Optional[str] = None,
                           ) -> Generator[Any, Any, LMONSession]:
-        """``launchMwDaemons``: middleware daemons on a fresh allocation."""
-        session.require_state(SessionState.READY, SessionState.MW_READY)
+        """``launchMwDaemons``: middleware daemons on a fresh allocation.
+
+        Allowed from a ``DEGRADED`` session too -- the middleware set
+        serves whatever back ends survived.
+        """
+        session.require_state(SessionState.READY, SessionState.DEGRADED,
+                              SessionState.MW_READY)
         if session.engine is None:
             raise FrontEndError("session has no engine")
         sim = self.sim
@@ -315,7 +322,8 @@ class ToolFrontEnd:
         nodes return to the RM free pool, un-blocking queued sessions.
         Jobs acquired via ``attach_and_spawn`` are never touched.
         """
-        session.require_state(SessionState.READY, SessionState.MW_READY)
+        session.require_state(SessionState.READY, SessionState.DEGRADED,
+                              SessionState.MW_READY)
         if session.engine is not None:
             yield from session.engine.detach()
         session.state = SessionState.DETACHED
@@ -336,7 +344,7 @@ class ToolFrontEnd:
                 "session has no engine/job to kill (a launch still queued "
                 "for nodes is cancelled via its SessionHandle)")
         session.require_state(SessionState.SPAWNING, SessionState.READY,
-                              SessionState.MW_READY)
+                              SessionState.DEGRADED, SessionState.MW_READY)
         yield from session.engine.kill_job()
         session.state = SessionState.KILLED
         self.reclaim(session)
@@ -474,6 +482,41 @@ class ToolFrontEnd:
 
         return factory
 
+    def _spawned_state(self, session: LMONSession) -> SessionState:
+        """READY for a complete daemon set; DEGRADED for a partial one the
+        resource manager's ``min_daemon_fraction`` policy accepted (the
+        shortfall is attributed per index in ``session.launch_report``)."""
+        report = session.launch_report
+        if (report is not None and report.requested
+                and report.n_daemons < report.requested):
+            return SessionState.DEGRADED
+        return SessionState.READY
+
+    def _be_handshake_guarded(self, session: LMONSession, rendezvous: Store,
+                              usr_data: Any) -> Generator[Any, Any, None]:
+        """Run the BE handshake, bounded by the RM policy's
+        ``handshake_timeout`` (if set).
+
+        A daemon killed *mid-handshake* leaves the master's collectives
+        waiting forever; without a bound the session would hang instead of
+        failing. On timeout the handshake process is interrupted and
+        :class:`FrontEndError` raises -- the caller's failure path reclaims
+        the session (nodes released, daemons exited, state FAILED).
+        """
+        policy = getattr(self.rm, "policy", None)
+        timeout = policy.handshake_timeout if policy is not None else 0.0
+        if timeout <= 0:
+            yield from self._be_handshake(session, rendezvous, usr_data)
+            return
+        worker = yield from run_bounded(
+            self.sim, self._be_handshake(session, rendezvous, usr_data),
+            timeout, name=f"fe-handshake:s{session.id}")
+        if worker is None:
+            raise FrontEndError(
+                f"session {session.id}: BE handshake did not complete "
+                f"within {timeout}s (daemon lost mid-handshake?)")
+        worker.value  # re-raise the handshake's own failure, if any
+
     def _be_handshake(self, session: LMONSession, rendezvous: Store,
                       usr_data: Any) -> Generator[Any, Any, None]:
         """FE side of the master-BE handshake (e7 -> e10)."""
@@ -524,5 +567,10 @@ class ToolFrontEnd:
         session.daemons = daemons
         session.fabric = fabric
         # the RM just spawned this session's daemon set; keep its per-phase
-        # launch breakdown with the session (spawn / image-stage / ...)
-        session.launch_report = self.rm.last_launch_report
+        # launch breakdown with the session (spawn / image-stage / ...).
+        # Prefer the job-scoped report: the RM-wide last_launch_report can
+        # be overwritten by a concurrent session's spawn before this bind
+        # runs, and the report now decides READY vs DEGRADED.
+        report = getattr(job, "daemon_spawn_report", None)
+        session.launch_report = (report if report is not None
+                                 else self.rm.last_launch_report)

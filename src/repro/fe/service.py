@@ -186,7 +186,8 @@ class SessionHandle:
 
     @property
     def launch_latency(self) -> Optional[float]:
-        """Client-visible latency: submit -> session READY.
+        """Client-visible latency: submit -> session READY (or DEGRADED,
+        the partial-success sibling under a resilient launch policy).
 
         Defined only for launch/attach handles; a chained MW handle shares
         its session's READY mark with the parent launch, so the metric
@@ -197,14 +198,22 @@ class SessionHandle:
             return None
         t_ready = self.state_times.get(SessionState.READY)
         if t_ready is None:
+            t_ready = self.state_times.get(SessionState.DEGRADED)
+        if t_ready is None:
             return None
         return t_ready - self.submitted_at
 
     @property
     def launch_report(self):
-        """The RM's per-phase daemon-spawn breakdown for this session
-        (a :class:`repro.launch.LaunchReport`), or None before daemons
-        spawned."""
+        """The RM's daemon-spawn breakdown for this session (a
+        :class:`repro.launch.LaunchReport`), or None before daemons
+        spawned: per-phase timing attribution (``t_spawn`` /
+        ``t_image_stage`` / ``t_topo_dist`` / ``t_connect`` /
+        ``t_handshake`` / ``t_repair``, with ``dominant_phase()`` naming
+        the scaling bottleneck) plus -- under a resilient
+        :class:`~repro.launch.LaunchPolicy` -- the per-index failure
+        attribution (``outcomes`` / ``retries`` / ``blacklisted``) behind
+        a DEGRADED session."""
         return self.session.launch_report
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -14,22 +14,34 @@ Every session moves through :class:`SessionState` along these edges::
          |  attach_and_spawn (no allocation wait)              v
          +--------------------------------------------------> SPAWNING
                                                                |
-                                       daemons ready (e11)     v
-                        +----------------------------------- READY
-                        |                                      |
-          launch_mw_daemons                                    |
-                        v                                      |
-                    MW_READY ----------------------------------+
-                        |                                      |
-                        +-----------------+--------------------+
-                                          |
-                              detach()    |    kill()
-                                          v
-                                DETACHED  /  KILLED        (terminal)
+                            daemons ready (e11)   +------------+
+                                                  v            v
+                                               READY        DEGRADED
+                                                  |            |
+                                  +---------------+     +------+
+                 launch_mw_daemons|               |     |      |
+                                  v               |     |      |
+                              MW_READY <----------|-----+      |
+                                  |               |            |
+                                  +---------------+------------+
+                                                  |
+                                      detach()    |    kill()
+                                                  v
+                                        DETACHED  /  KILLED  (terminal)
 
 A launch or attach that raises moves the session to ``FAILED`` (terminal)
 after its resources are reclaimed, so status-callback listeners always see
 a terminal transition -- dead sessions do not linger as ``SPAWNING``.
+
+``DEGRADED`` is READY's partial-success sibling, reachable only when the
+resource manager runs under a :class:`~repro.launch.LaunchPolicy`: the
+daemon set came up incomplete but met the policy's ``min_daemon_fraction``,
+so the session is usable -- ``session.launch_report`` attributes exactly
+which daemon indices failed, were retried, or had their nodes blacklisted.
+Below the fraction the launch raises instead and the session lands in
+``FAILED`` with its nodes reclaimed. A DEGRADED session supports the same
+operations as a READY one (detach, kill, MW launch, data transfer over the
+surviving daemons).
 
 ``QUEUED`` is entered while a launch waits on the resource manager's FIFO
 allocation queue (:meth:`~repro.rm.base.ResourceManager.allocate_async`);
@@ -68,6 +80,8 @@ class SessionState(enum.Enum):
     QUEUED = "queued"
     SPAWNING = "spawning"
     READY = "ready"
+    #: partial daemon set accepted under a min_daemon_fraction policy
+    DEGRADED = "degraded"
     MW_READY = "mw-ready"
     DETACHED = "detached"
     KILLED = "killed"
@@ -115,8 +129,12 @@ class LMONSession:
         # measurements
         self.timeline = LaunchTimeline()
         self.times = ComponentTimes()
-        #: the RM's per-phase daemon-spawn breakdown for this session's
-        #: launch (a :class:`repro.launch.LaunchReport`), set at bind time
+        #: the RM's daemon-spawn breakdown for this session's launch
+        #: (a :class:`repro.launch.LaunchReport`), set at bind time: the
+        #: per-phase attribution (t_spawn / t_image_stage / t_topo_dist /
+        #: t_connect / t_handshake / t_repair) plus, under a resilient
+        #: LaunchPolicy, the per-index failure attribution (outcomes,
+        #: retries, blacklisted nodes) behind a DEGRADED state
         self.launch_report = None
 
     # -- state machine -------------------------------------------------------

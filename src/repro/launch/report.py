@@ -18,17 +18,33 @@ instead of comparing opaque totals:
     daemons connecting to their tree parents.
 ``t_handshake``
     per-daemon stream/port handshakes at the front end.
+``t_repair``
+    recovering from failures: TBON subtree reparenting after an internal
+    node death (see :meth:`repro.tbon.Overlay.repair`).
+
+Failure attribution
+-------------------
+A resilient launch (per-daemon timeout / bounded retry / blacklisting --
+see :class:`~repro.launch.policy.LaunchPolicy`) additionally records a
+**per-index outcome** for every requested daemon, so a partial launch is
+attributed, not guessed: ``outcomes[i]`` is ``"ok"``, ``"failed"``
+(spawn attempts exhausted), ``"skipped"`` (the node was already
+blacklisted) or ``"lost"`` (spawned, but the daemon died before the set
+assembled -- a node crash between fork and fabric wireup);
+``retries[i]`` counts the extra attempts index ``i`` needed;
+``blacklisted`` lists nodes this launch condemned. Legacy (non-resilient)
+launches keep the historical ``failed``/``failure`` first-error fields.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["LaunchReport", "PHASES"]
 
 #: the per-phase fields of a report, in critical-path order
 PHASES = ("t_spawn", "t_image_stage", "t_topo_dist", "t_connect",
-          "t_handshake")
+          "t_handshake", "t_repair")
 
 
 @dataclass
@@ -38,7 +54,11 @@ class LaunchReport:
     ``total`` is the caller-observed wall time; the phases need not sum to
     it exactly (phases can overlap -- e.g. serialized shared-FS image loads
     interleaved with a sequential spawn loop are *attributed* to
-    ``t_image_stage`` out of the spawn window).
+    ``t_image_stage`` out of the spawn window). ``requested`` vs
+    ``n_daemons`` tells whether the launch was partial; the per-index
+    ``outcomes``/``retries``/``blacklisted`` fields (resilient launches
+    only) say exactly which daemons failed, how hard they were retried,
+    and which nodes were condemned.
     """
 
     mechanism: str
@@ -49,11 +69,42 @@ class LaunchReport:
     t_topo_dist: float = 0.0
     t_connect: float = 0.0
     t_handshake: float = 0.0
+    t_repair: float = 0.0
     total: float = 0.0
     fe_procs_peak: int = 0
     staging_mode: str = "shared-fs"
     failed: bool = False
     failure: str = ""
+    #: per-index outcome: "ok" / "failed" / "skipped" / "lost"
+    #: (resilient launches; see the module docstring for the vocabulary)
+    outcomes: dict = field(default_factory=dict)
+    #: per-index count of extra spawn attempts beyond the first
+    retries: dict = field(default_factory=dict)
+    #: node names this launch blacklisted (retries exhausted)
+    blacklisted: list = field(default_factory=list)
+
+    # -- failure accounting ---------------------------------------------------
+    @property
+    def n_failed(self) -> int:
+        """Daemon indices with no live daemon in the final set: spawn
+        failed, skipped (blacklisted node), or lost after spawning."""
+        return sum(1 for v in self.outcomes.values() if v != "ok")
+
+    @property
+    def n_retried(self) -> int:
+        """Total extra spawn attempts across all indices."""
+        return sum(self.retries.values())
+
+    @property
+    def n_blacklisted(self) -> int:
+        return len(self.blacklisted)
+
+    def failed_indices(self) -> list:
+        """Indices (into the request's node list) with no live daemon in
+        the final set -- including ``"lost"`` indices whose daemon *did*
+        fork but died before the set assembled; check ``outcomes[i]`` to
+        distinguish never-spawned from spawned-then-lost."""
+        return sorted(i for i, v in self.outcomes.items() if v != "ok")
 
     def phases(self) -> dict:
         """The per-phase breakdown as an ordered name -> seconds dict."""
@@ -68,7 +119,11 @@ class LaunchReport:
             "mechanism": self.mechanism, "n_daemons": self.n_daemons,
             "t_spawn": self.t_spawn, "t_image_stage": self.t_image_stage,
             "t_topo_dist": self.t_topo_dist, "t_connect": self.t_connect,
-            "t_handshake": self.t_handshake, "total": self.total,
+            "t_handshake": self.t_handshake, "t_repair": self.t_repair,
+            "total": self.total,
             "fe_procs_peak": self.fe_procs_peak,
             "staging_mode": self.staging_mode,
+            "requested": self.requested,
+            "n_failed": self.n_failed, "n_retried": self.n_retried,
+            "blacklisted": list(self.blacklisted),
         }

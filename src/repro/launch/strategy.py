@@ -22,11 +22,26 @@ honouring its ``shared-fs``/``cache``/``broadcast`` staging mode) when
 ``stage_images`` is set, and returns a :class:`LaunchResult` carrying the
 spawned processes plus a per-phase :class:`~repro.launch.report.LaunchReport`.
 
-Failure contracts differ by design, mirroring the mechanisms they model:
-the rsh strategies *record* the first failure in the report and return the
-partial result (ad-hoc practice limps along; callers inspect
-``report.failed``), while ``rm-bulk`` is all-or-nothing -- it reaps partial
-daemons and re-raises, like a real RM aborting a job step.
+Failure contracts
+-----------------
+In the **legacy** (non-resilient) mode the contracts differ by design,
+mirroring the mechanisms they model: the rsh strategies *record* the first
+failure in the report and return the partial result (ad-hoc practice limps
+along; callers inspect ``report.failed``), while ``rm-bulk`` is
+all-or-nothing -- it reaps partial daemons and re-raises, like a real RM
+aborting a job step.
+
+A **resilient** request (any of ``per_daemon_timeout`` / ``max_retries`` /
+``blacklist`` set -- usually via :class:`~repro.launch.policy.LaunchPolicy`)
+switches all three strategies to the survive-and-attribute contract: each
+daemon's spawn is bounded by the per-daemon timeout, retried with
+exponential backoff, and its node blacklisted when retries are exhausted;
+the launch then *continues* past the failure (tree-rsh re-roots the failed
+head's remaining subtree at the live origin -- launch-time self-repair),
+and the report carries a per-index outcome for every requested daemon
+(``outcomes`` / ``retries`` / ``blacklisted``). Deciding whether a partial
+set is acceptable is the caller's policy (``min_daemon_fraction`` in the
+resource manager), not the strategy's.
 """
 
 from __future__ import annotations
@@ -34,19 +49,43 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional, Sequence
 
-from repro.cluster import Cluster, ForkError, Node, RemoteExecError, SimProcess
+from repro.cluster import (
+    Cluster,
+    ForkError,
+    Node,
+    NodeDown,
+    NodeTaggedError,
+    RemoteExecError,
+    SimProcess,
+)
 from repro.launch.report import LaunchReport
+from repro.simx import run_bounded
 
 __all__ = [
     "LaunchRequest",
     "LaunchResult",
     "LaunchStrategy",
+    "LaunchTimeout",
     "RmBulkStrategy",
     "SerialRshStrategy",
+    "SPAWN_ERRORS",
     "TreeRshStrategy",
     "get_strategy",
     "strategy_names",
 ]
+
+
+class LaunchTimeout(NodeTaggedError):
+    """A single daemon's spawn attempt exceeded the per-daemon timeout.
+
+    ``node`` names the unresponsive target (the node is held culpable --
+    stragglers and dead-but-undiagnosed hosts look identical from the
+    launcher's side)."""
+
+
+#: the failures a resilient launch absorbs (records + retries) instead of
+#: propagating; anything else is a programming error and raises through
+SPAWN_ERRORS = (ForkError, RemoteExecError, NodeDown, LaunchTimeout)
 
 
 @dataclass
@@ -60,6 +99,12 @@ class LaunchRequest:
     after each successful spawn (it may return a generator to cost virtual
     time -- e.g. the ad-hoc topology-file read -- or do plain bookkeeping
     and return None).
+
+    The resilience knobs (``per_daemon_timeout`` / ``max_retries`` /
+    ``retry_backoff`` / ``blacklist``) default to off; setting any of them
+    makes the request *resilient* (see the module docstring for the
+    contract change). ``blacklist`` is a caller-owned mutable set of node
+    names, shared so what one launch condemns a later launch skips.
     """
 
     cluster: Cluster
@@ -80,8 +125,21 @@ class LaunchRequest:
     source: Optional[Node] = None
     #: serial-rsh: propagate spawn failures instead of recording them in
     #: the report (the RM-driven job-launch contract); rm-bulk always
-    #: raises, tree-rsh always records
+    #: raises, tree-rsh always records. Ignored by resilient requests
+    #: (which never propagate SPAWN_ERRORS).
     raise_on_error: bool = False
+    #: interrupt one daemon's spawn attempt after this long (0 = never)
+    per_daemon_timeout: float = 0.0
+    #: extra attempts per daemon after the first fails
+    max_retries: int = 0
+    #: backoff before the k-th retry: ``retry_backoff * 2**k`` seconds
+    retry_backoff: float = 0.05
+    #: shared set of condemned node names (None = no blacklisting)
+    blacklist: Optional[set] = None
+    #: explicit contract override: True forces the survive-and-attribute
+    #: contract even with every per-daemon knob off (what a LaunchPolicy
+    #: guarantees), False forces legacy; None = infer from the knobs
+    resilient_mode: Optional[bool] = None
     args_for: Optional[Callable[[int, Node], tuple]] = None
     image_mb_for: Optional[Callable[[int, Node], float]] = None
     post_spawn: Optional[Callable[[int, Node, SimProcess], Any]] = None
@@ -89,6 +147,29 @@ class LaunchRequest:
     @property
     def key(self) -> str:
         return self.image_key or self.executable
+
+    @property
+    def resilient(self) -> bool:
+        """Whether this request runs under the survive-and-attribute
+        contract (``resilient_mode`` when set, else inferred from the
+        per-daemon knobs)."""
+        if self.resilient_mode is not None:
+            return self.resilient_mode
+        return (self.per_daemon_timeout > 0 or self.max_retries > 0
+                or self.blacklist is not None)
+
+    def apply_policy(self, policy, blacklist: Optional[set] = None) -> None:
+        """Copy a :class:`~repro.launch.policy.LaunchPolicy`'s per-daemon
+        knobs onto this request (the min-fraction verdict stays with the
+        caller). A policy always selects the resilient contract -- even one
+        with every per-daemon knob off still wants per-index outcome
+        bookkeeping for its acceptance-fraction verdict."""
+        self.per_daemon_timeout = policy.per_daemon_timeout
+        self.max_retries = policy.max_retries
+        self.retry_backoff = policy.retry_backoff
+        self.resilient_mode = True
+        if policy.blacklist_nodes:
+            self.blacklist = blacklist if blacklist is not None else set()
 
     def resolved_image_mb(self, i: int = 0, node: Optional[Node] = None,
                           ) -> float:
@@ -106,10 +187,19 @@ class LaunchRequest:
 
 @dataclass
 class LaunchResult:
-    """Spawned daemon processes plus the per-phase timing report."""
+    """Spawned daemon processes plus the per-phase timing report.
+
+    ``procs`` holds the successes in spawn-completion order (the legacy
+    face); ``slots`` maps *request index* -> process so partial results
+    keep the index <-> node association (resilient launches leave failed
+    indices out -- pair ``slots`` with ``request.nodes`` to know exactly
+    which daemon runs where).
+    """
 
     procs: list = field(default_factory=list)
     report: LaunchReport = None  # type: ignore[assignment]
+    #: request index -> spawned process (absent where the spawn failed)
+    slots: dict = field(default_factory=dict)
 
     @property
     def n_spawned(self) -> int:
@@ -162,6 +252,77 @@ class LaunchStrategy:
         if gen is not None:
             yield from gen
 
+    # -- resilient spawn machinery -------------------------------------------
+    def _attempt(self, req: LaunchRequest, node: Node,
+                 attempt_factory: Callable[[], Generator],
+                 ) -> Generator[Any, Any, SimProcess]:
+        """Run one spawn attempt, bounded by the per-daemon timeout.
+
+        Without a timeout the attempt runs inline (identical event order to
+        a legacy launch); with one, it runs through
+        :func:`~repro.simx.run_bounded` -- on timeout the attempt is
+        interrupted (image loads and forks release their resources; they
+        are interrupt-safe by construction) and :class:`LaunchTimeout`
+        raised.
+        """
+        sim = req.cluster.sim
+        if req.per_daemon_timeout <= 0:
+            proc = yield from attempt_factory()
+            return proc
+        worker = yield from run_bounded(
+            sim, attempt_factory(), req.per_daemon_timeout,
+            name=f"spawn-try:{node.name}")
+        if worker is None:
+            raise LaunchTimeout(
+                f"{node.name}: spawn attempt exceeded "
+                f"{req.per_daemon_timeout}s", node=node.name)
+        return worker.value
+
+    def _spawn_resilient(self, req: LaunchRequest, report: LaunchReport,
+                         i: int, node: Node,
+                         attempt_factory: Callable[[], Generator],
+                         ) -> Generator[Any, Any, Optional[SimProcess]]:
+        """Spawn daemon ``i`` under the resilient contract.
+
+        Returns the process, or None after recording the index's outcome
+        (``skipped`` for an already-blacklisted node, ``failed`` once the
+        bounded retries -- exponential backoff between attempts -- are
+        exhausted). Exhausted retries condemn the node on the shared
+        blacklist **only when the failure is attributable to it** (the
+        exception's ``node`` tag matches the target): a source-side
+        failure -- the front end's own process table filling, the origin
+        dying -- must not condemn a healthy target.
+        """
+        sim = req.cluster.sim
+        blacklist = req.blacklist
+        if blacklist is not None and node.name in blacklist:
+            report.outcomes[i] = "skipped"
+            return None
+        delay = max(0.0, req.retry_backoff)
+        attempts = req.max_retries + 1
+        for attempt in range(attempts):
+            try:
+                proc = yield from self._attempt(req, node, attempt_factory)
+            except SPAWN_ERRORS as exc:
+                if attempt + 1 < attempts:
+                    report.retries[i] = report.retries.get(i, 0) + 1
+                    if delay > 0:
+                        yield sim.timeout(delay)
+                    delay *= 2.0
+                    continue
+                report.outcomes[i] = "failed"
+                if not report.failure:
+                    report.failure = str(exc)
+                culprit = getattr(exc, "node", "") or node.name
+                if (blacklist is not None and culprit == node.name
+                        and node.name not in blacklist):
+                    blacklist.add(node.name)
+                    report.blacklisted.append(node.name)
+                return None
+            report.outcomes[i] = "ok"
+            return proc
+        return None  # pragma: no cover - loop always returns
+
     @staticmethod
     def _attribute_fs_time(report: LaunchReport, req: LaunchRequest,
                            busy0: float, window: float) -> float:
@@ -192,7 +353,9 @@ class SerialRshStrategy(LaunchStrategy):
 
     With ``hold_clients`` (the MRNet behaviour) each rsh client stays alive
     on the source node, so the launch eventually exhausts its process table
-    instead of merely being slow.
+    instead of merely being slow. Legacy contract: stop at the first
+    failure (or raise with ``raise_on_error``); resilient contract: retry,
+    blacklist and keep walking the node list.
     """
 
     name = "serial-rsh"
@@ -209,22 +372,34 @@ class SerialRshStrategy(LaunchStrategy):
         yield from self._prestage(req, report)
         t_spawn0 = sim.now
         busy0 = fs.busy_time
+        resilient = req.resilient
         for i, node in enumerate(req.nodes):
-            image = req.resolved_image_mb(i, node)
-            try:
+            def attempt(i=i, node=node):
+                image = req.resolved_image_mb(i, node)
                 if req.stage_images:
                     yield from fs.load_image(image, node=node, key=req.key)
                 _client, proc = yield from src.rsh_spawn(
                     node, req.executable, args=req.resolved_args(i, node),
                     uid=req.uid, image_mb=image,
                     hold_client=req.hold_clients)
-            except (ForkError, RemoteExecError) as exc:
-                if req.raise_on_error:
-                    raise
-                report.failed = True
-                report.failure = str(exc)
-                break
+                return proc
+
+            if resilient:
+                proc = yield from self._spawn_resilient(
+                    req, report, i, node, attempt)
+                if proc is None:
+                    continue
+            else:
+                try:
+                    proc = yield from attempt()
+                except SPAWN_ERRORS as exc:
+                    if req.raise_on_error:
+                        raise
+                    report.failed = True
+                    report.failure = str(exc)
+                    break
             result.procs.append(proc)
+            result.slots[i] = proc
             yield from self._run_post_spawn(req, i, node, proc)
         window = sim.now - t_spawn0
         staged = self._attribute_fs_time(report, req, busy0, window)
@@ -239,6 +414,11 @@ class TreeRshStrategy(LaunchStrategy):
     count x per-rsh) but keeps every other ad-hoc weakness: it still needs
     rshd on the compute nodes, manual placement, and a manual protocol for
     daemons to find their children.
+
+    Resilient contract adds launch-time self-repair: when a subtree head
+    cannot be spawned (its node crashed, flapped past its retries, or
+    timed out), the head's remaining targets are *re-rooted at the live
+    origin* instead of being orphaned -- the tree grows around the hole.
     """
 
     name = "tree-rsh"
@@ -257,6 +437,7 @@ class TreeRshStrategy(LaunchStrategy):
         t_spawn0 = sim.now
         busy0 = fs.busy_time
         failure: list[str] = []
+        resilient = req.resilient
 
         def spawn_subtree(origin: Node, targets: list):
             """rsh the first target from origin; it spawns its slices.
@@ -264,30 +445,52 @@ class TreeRshStrategy(LaunchStrategy):
             ``targets`` holds ``(index, node)`` pairs so the per-index
             request hooks (args_for / image_mb_for / post_spawn) see each
             daemon's position in ``req.nodes`` despite the tree order.
+            In resilient mode a failed head's remaining targets re-root
+            here at ``origin`` (the nearest live ancestor).
             """
-            if not targets or failure:
+            while targets:
+                if failure and not resilient:
+                    return
+                (idx, head), rest = targets[0], targets[1:]
+
+                def attempt(idx=idx, head=head, origin=origin):
+                    image = req.resolved_image_mb(idx, head)
+                    if req.stage_images:
+                        yield from fs.load_image(image, node=head,
+                                                 key=req.key)
+                    _client, proc = yield from origin.rsh_spawn(
+                        head, req.executable,
+                        args=req.resolved_args(idx, head),
+                        uid=req.uid, image_mb=image,
+                        hold_client=req.hold_clients)
+                    return proc
+
+                if resilient:
+                    proc = yield from self._spawn_resilient(
+                        req, report, idx, head, attempt)
+                    if proc is None:
+                        # self-repair: origin adopts the failed head's
+                        # remaining subtree
+                        targets = rest
+                        continue
+                else:
+                    try:
+                        proc = yield from attempt()
+                    except SPAWN_ERRORS as exc:
+                        failure.append(str(exc))
+                        return
+                result.procs.append(proc)
+                result.slots[idx] = proc
+                yield from self._run_post_spawn(req, idx, head, proc)
+                if not rest:
+                    return
+                # split the remainder into fanout slices handled in parallel
+                slices = [rest[i::fanout]
+                          for i in range(min(fanout, len(rest)))]
+                procs = [sim.process(spawn_subtree(head, s), name="tree-rsh")
+                         for s in slices if s]
+                yield sim.all_of(procs)
                 return
-            (idx, head), rest = targets[0], targets[1:]
-            image = req.resolved_image_mb(idx, head)
-            try:
-                if req.stage_images:
-                    yield from fs.load_image(image, node=head, key=req.key)
-                _client, proc = yield from origin.rsh_spawn(
-                    head, req.executable, args=req.resolved_args(idx, head),
-                    uid=req.uid, image_mb=image,
-                    hold_client=req.hold_clients)
-            except (ForkError, RemoteExecError) as exc:
-                failure.append(str(exc))
-                return
-            result.procs.append(proc)
-            yield from self._run_post_spawn(req, idx, head, proc)
-            if not rest:
-                return
-            # split the remainder into fanout slices handled in parallel
-            slices = [rest[i::fanout] for i in range(min(fanout, len(rest)))]
-            procs = [sim.process(spawn_subtree(head, s), name="tree-rsh")
-                     for s in slices if s]
-            yield sim.all_of(procs)
 
         nodes = list(enumerate(req.nodes))
         roots = [nodes[i::fanout] for i in range(min(fanout, len(nodes)))]
@@ -312,9 +515,12 @@ class RmBulkStrategy(LaunchStrategy):
     launch-tree descent) stays with the resource manager, which adds it to
     the report's spawn phase.
 
-    All-or-nothing: a failed spawn interrupts the in-flight workers, reaps
-    the daemons already forked, and re-raises -- a failed set must not leave
-    orphan processes squatting on the nodes.
+    Legacy contract is all-or-nothing: a failed spawn interrupts the
+    in-flight workers, reaps the daemons already forked, and re-raises -- a
+    failed set must not leave orphan processes squatting on the nodes.
+    Resilient contract: each node's worker absorbs its own failures
+    (timeout / retry / blacklist) and the set completes with whatever
+    survived, attributed per index.
     """
 
     name = "rm-bulk"
@@ -332,14 +538,25 @@ class RmBulkStrategy(LaunchStrategy):
         t_spawn0 = sim.now
         busy0 = fs.busy_time
         procs: list = [None] * len(nodes)
+        resilient = req.resilient
 
-        def _spawn_one(i: int, node: Node):
+        def _attempt_one(i: int, node: Node):
             image = req.resolved_image_mb(i, node)
             if req.stage_images:
                 yield from fs.load_image(image, node=node, key=req.key)
             proc = yield from node.fork_exec(
                 req.executable, args=req.resolved_args(i, node),
                 uid=req.uid, image_mb=image)
+            return proc
+
+        def _spawn_one(i: int, node: Node):
+            if resilient:
+                proc = yield from self._spawn_resilient(
+                    req, report, i, node, lambda: _attempt_one(i, node))
+                if proc is None:
+                    return
+            else:
+                proc = yield from _attempt_one(i, node)
             procs[i] = proc
             yield from self._run_post_spawn(req, i, node, proc)
 
@@ -361,7 +578,8 @@ class RmBulkStrategy(LaunchStrategy):
                 if p is not None and p.alive:
                     p.exit(9)
             raise
-        result.procs = list(procs)
+        result.procs = [p for p in procs if p is not None]
+        result.slots = {i: p for i, p in enumerate(procs) if p is not None}
         window = sim.now - t_spawn0
         staged = self._attribute_fs_time(report, req, busy0, window)
         report.t_spawn = max(0.0, window - staged)

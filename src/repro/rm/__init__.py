@@ -16,6 +16,17 @@ machinery for three platform archetypes:
   ``spawn_daemons`` raises :class:`UnsupportedOperation`, which is exactly
   why ad-hoc rsh launching persists (Section 2) and what LaunchMON abstracts
   away.
+
+Every capable RM spawns daemon sets through the unified launch layer
+(:meth:`ResourceManager._launch_daemon_procs`; ``launch_strategy`` selects
+``rm-bulk`` -- the default, Section 3.1's efficient path -- or an rsh
+strategy for ad-hoc platforms and the resilience sweep) and records the
+per-phase :class:`~repro.launch.LaunchReport` in ``last_launch_report``.
+With a :class:`~repro.launch.LaunchPolicy` set, spawns run under the
+resilient contract (timeout / bounded retry / blacklisting, a
+``min_daemon_fraction`` acceptance threshold), ``node_blacklist`` holds the
+condemned nodes, and ``free_nodes()`` refuses to re-allocate them -- or
+any crashed node -- for the rest of the session.
 """
 
 from repro.rm.base import (

@@ -32,7 +32,14 @@ from typing import Any, Callable, Generator, Optional, Sequence
 from repro.simx import Event, SeededRNG, Simulator
 from repro.apps import AppSpec
 from repro.cluster import Cluster, Node, SimProcess
-from repro.launch import LaunchReport, LaunchRequest, LaunchResult, RmBulkStrategy
+from repro.launch import (
+    LaunchPolicy,
+    LaunchReport,
+    LaunchRequest,
+    LaunchResult,
+    RmBulkStrategy,
+    get_strategy,
+)
 from repro.mpir import (
     MPIR_BEING_DEBUGGED,
     MPIR_DEBUG_SPAWNED,
@@ -137,6 +144,10 @@ class RMJob:
         self.tasks: list[SimProcess] = []
         self.state = JobState.PENDING
         self.daemons: list[LaunchedDaemon] = []
+        #: per-phase report of the most recent daemon set spawned into this
+        #: job -- unlike the RM-wide ``last_launch_report`` it cannot be
+        #: overwritten by a concurrent session's spawn
+        self.daemon_spawn_report: Optional[LaunchReport] = None
 
     def build_proctable(self) -> RPDTAB:
         """Assemble the RPDTAB from the live task set."""
@@ -171,10 +182,22 @@ class ResourceManager:
     #: the shared per-node spawn machinery every capable RM launches through
     bulk_strategy = RmBulkStrategy()
 
-    def __init__(self, cluster: Cluster, seed: int = 7):
+    def __init__(self, cluster: Cluster, seed: int = 7,
+                 policy: Optional[LaunchPolicy] = None,
+                 launch_strategy: Optional[str] = None):
         self.cluster = cluster
         self.sim: Simulator = cluster.sim
         self.rng = SeededRNG(seed, f"rm:{self.name}")
+        #: resilience policy applied to every daemon spawn (None = legacy:
+        #: spawns are unguarded and a partial set is a hard failure)
+        self.policy = policy
+        #: which LaunchStrategy spawns daemon sets ("rm-bulk" default; the
+        #: rsh strategies model ad-hoc platforms and the resilience sweep)
+        self.launch_strategy = launch_strategy
+        #: nodes condemned by exhausted launch retries; free_nodes() skips
+        #: them, so a blacklisted node is never re-allocated (shared with
+        #: every LaunchRequest this RM issues)
+        self.node_blacklist: set[str] = set()
         self._alloc_ids = itertools.count(1)
         self._allocated: set[str] = set()
         self.jobs: list[RMJob] = []
@@ -194,9 +217,14 @@ class ResourceManager:
         return len(self._alloc_waiters)
 
     def free_nodes(self) -> list[Node]:
-        """Compute nodes not currently granted to any allocation."""
+        """Compute nodes grantable to a new allocation: not currently
+        allocated, not crashed, and not on the launch blacklist (a node
+        condemned by exhausted spawn retries is never re-allocated within
+        this RM's lifetime -- sessions must not keep rediscovering it)."""
         return [n for n in self.cluster.compute
-                if n.name not in self._allocated]
+                if n.name not in self._allocated
+                and not n.failed
+                and n.name not in self.node_blacklist]
 
     def allocate(self, n_nodes: int) -> Allocation:
         """Grant ``n_nodes`` free compute nodes immediately (deterministic
@@ -315,31 +343,54 @@ class ResourceManager:
     # -- shared helpers ------------------------------------------------------
     def _launch_daemon_procs(self, nodes: Sequence[Node], spec: DaemonSpec,
                              ) -> Generator[Any, Any, LaunchResult]:
-        """Fork one daemon per node through the unified ``rm-bulk`` strategy.
+        """Fork one daemon per node through the configured launch strategy.
 
         Stages ``spec.image_mb`` through the cluster's storage layer (so the
         active staging mode -- shared-fs, per-node cache, or cooperative
-        broadcast -- governs the image-distribution cost), forks all nodes
-        in parallel, and records the per-phase :class:`LaunchReport` in
+        broadcast -- governs the image-distribution cost), spawns through
+        :attr:`launch_strategy` (``rm-bulk`` by default: all nodes fork in
+        parallel), and records the per-phase :class:`LaunchReport` in
         :attr:`last_launch_report`. Protocol costs the RM pays *before*
         calling this (controller bookkeeping, tree descent) should be added
         to the report's spawn phase by the caller.
+
+        With a :class:`~repro.launch.LaunchPolicy` set, each daemon's spawn
+        runs under the resilient contract (timeout / bounded retry /
+        blacklisting) and a partial set is accepted down to the policy's
+        ``min_daemon_fraction`` -- the report attributes every missing
+        index. Below the fraction (or on *any* shortfall without a policy)
+        the survivors are reaped and :class:`RMError` raises, so a failed
+        set cannot leave orphans squatting on nodes.
         """
-        result = yield from self.bulk_strategy.launch(LaunchRequest(
+        strat_name = self.launch_strategy or "rm-bulk"
+        strat = (self.bulk_strategy if strat_name == "rm-bulk"
+                 else get_strategy(strat_name))
+        req = LaunchRequest(
             cluster=self.cluster, nodes=nodes, executable=spec.executable,
             image_mb=spec.image_mb, args=spec.args, uid=spec.uid,
-            stage_images=True, image_key=spec.executable))
-        result.report.mechanism = f"rm-bulk({self.name})"
-        self.last_launch_report = result.report
+            stage_images=True, image_key=spec.executable,
+            hold_clients=False)
+        if self.policy is not None:
+            req.apply_policy(self.policy, self.node_blacklist)
+        result = yield from strat.launch(req)
+        report = result.report
+        report.mechanism = f"{strat.name}({self.name})"
+        self.last_launch_report = report
+        requested = len(nodes)
+        survivors = [p for p in result.procs if p.alive]
+        need = (self.policy.min_daemons(requested)
+                if self.policy is not None else requested)
+        short = len(survivors) < need or (self.policy is None
+                                          and report.failed)
+        if short:
+            for p in result.procs:
+                if p.alive:
+                    p.exit(9)
+            raise RMError(
+                f"{self.name}: daemon set incomplete -- "
+                f"{len(survivors)}/{requested} up (minimum {need}); "
+                f"first failure: {report.failure or 'n/a'}")
         return result
-
-    def _start_daemon_bodies(self, daemons: list[LaunchedDaemon],
-                             spec: DaemonSpec, context_factory) -> None:
-        """Start each daemon's tool body as a simulation process."""
-        for d in daemons:
-            ctx = context_factory(d, daemons)
-            d.sim_proc = self.sim.process(
-                spec.main(ctx), name=f"{spec.executable}[{d.rank}]")
 
     def _place_tasks(self, app: AppSpec, alloc: Allocation) -> list[tuple[Node, int]]:
         """Block placement: (node, rank) pairs, tasks_per_node per node."""

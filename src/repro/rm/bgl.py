@@ -15,7 +15,7 @@ in the same per-phase breakdown as every other platform's.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional
+from typing import Any, Optional
 
 from repro.cluster import Cluster
 from repro.rm.slurm import SlurmConfig, SlurmRM
@@ -33,7 +33,8 @@ class BglMpirunRM(SlurmRM):
     name = "bgl-mpirun"
 
     def __init__(self, cluster: Cluster, config: Optional[SlurmConfig] = None,
-                 seed: int = 7, spawn_factor: float = BGL_SPAWN_FACTOR):
+                 seed: int = 7, spawn_factor: float = BGL_SPAWN_FACTOR,
+                 **rm_kwargs: Any):
         base = config or SlurmConfig()
         scaled = replace(
             base,
@@ -43,7 +44,7 @@ class BglMpirunRM(SlurmRM):
             ctl_per_node_daemon=base.ctl_per_node_daemon * spawn_factor,
             hop_cost=base.hop_cost * 2.0,
         )
-        super().__init__(cluster, config=scaled, seed=seed)
+        super().__init__(cluster, config=scaled, seed=seed, **rm_kwargs)
         self.spawn_factor = spawn_factor
 
     def launcher_executable(self) -> str:

@@ -88,8 +88,8 @@ class SlurmRM(ResourceManager):
     provides_fabric = True
 
     def __init__(self, cluster: Cluster, config: Optional[SlurmConfig] = None,
-                 seed: int = 7):
-        super().__init__(cluster, seed=seed)
+                 seed: int = 7, **rm_kwargs: Any):
+        super().__init__(cluster, seed=seed, **rm_kwargs)
         self.config = config or SlurmConfig()
 
     def launcher_executable(self) -> str:
@@ -197,6 +197,7 @@ class SlurmRM(ResourceManager):
         daemons, fabric = yield from self._spawn_set(
             nodes, spec, context_factory, topology)
         job.daemons.extend(daemons)
+        job.daemon_spawn_report = self.last_launch_report
         return daemons, fabric
 
     def spawn_on_allocation(self, alloc: Allocation, spec: DaemonSpec,
@@ -243,21 +244,35 @@ class SlurmRM(ResourceManager):
             if launcher.alive:
                 launcher.exit(9)
             raise
-        procs = result.procs
         result.report.t_spawn += protocol_overhead
         result.report.total += protocol_overhead
 
-        topo = TreeTopology.make(n, topology or cfg.iccl_topology)
+        # pair surviving daemons with their nodes by request index: a
+        # resilient launch may return a partial set (failed indices are
+        # attributed in the report), and a daemon whose node crashed
+        # between spawn and now must not get a body started on it
+        pairs = [(node, result.slots[i]) for i, node in enumerate(nodes)
+                 if result.slots.get(i) is not None
+                 and result.slots[i].alive]
+        for i in result.slots:
+            if not result.slots[i].alive:
+                # spawned but died before the set assembled (node crash
+                # between fork and fabric wireup): attribute the loss
+                result.report.outcomes[i] = "lost"
+        result.report.n_daemons = len(pairs)
+        live_nodes = [node for node, _ in pairs]
+        topo = TreeTopology.make(len(pairs), topology or cfg.iccl_topology)
         fabric = ICCLFabric(
-            sim, self.cluster.network, nodes, topo,
+            sim, self.cluster.network, live_nodes, topo,
             costs=self.cluster.costs, rng=self.rng,
             per_rec_cost=cfg.fabric_per_rec)
-        daemons = [LaunchedDaemon(rank=i, node=node, proc=procs[i])
-                   for i, node in enumerate(nodes)]
+        daemons = [LaunchedDaemon(rank=rank, node=node, proc=proc)
+                   for rank, (node, proc) in enumerate(pairs)]
         for d in daemons:
             ctx = context_factory(d, daemons, fabric)
             d.sim_proc = sim.process(
                 spec.main(ctx), name=f"{spec.executable}[{d.rank}]")
+            d.node.register_body(d.sim_proc)
         launcher.exit(0)
         return daemons, fabric
 

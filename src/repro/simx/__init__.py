@@ -33,6 +33,7 @@ from repro.simx.core import (
     SimulationError,
     Simulator,
     Timeout,
+    run_bounded,
 )
 from repro.simx.channels import Channel, Store
 from repro.simx.resources import Resource
@@ -51,4 +52,5 @@ __all__ = [
     "Simulator",
     "Store",
     "Timeout",
+    "run_bounded",
 ]

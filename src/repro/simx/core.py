@@ -28,6 +28,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Timeout",
+    "run_bounded",
 ]
 
 _PENDING = object()
@@ -214,7 +215,7 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self.triggered:
             raise SimulationError(f"cannot interrupt finished {self!r}")
-        if self._target is self.sim._active_proc:  # pragma: no cover
+        if self is self.sim._active_proc:
             raise SimulationError("a process cannot interrupt itself")
         interrupt_ev = Event(self.sim)
         interrupt_ev._value = None
@@ -232,6 +233,14 @@ class Process(Event):
         self.sim._enqueue(interrupt_ev, 0.0, URGENT)
 
     def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # stale wake-up: the process finished between this event's
+            # scheduling and its delivery (e.g. two supervisors -- a node
+            # failure and a tree repair -- interrupted it at the same
+            # instant); absorb the event instead of resuming a corpse
+            if event._exc is not None:
+                event._defused = True
+            return
         self.sim._active_proc = self
         while True:
             try:
@@ -363,6 +372,29 @@ class AnyOf(_Condition):
 
     def _child_done(self) -> None:
         self._trigger_ok()
+
+
+def run_bounded(sim: "Simulator", gen: Generator[Event, Any, Any],
+                timeout: float, name: str = "",
+                ) -> Generator[Event, Any, Optional["Process"]]:
+    """Race ``gen`` (started as a fresh process) against a timer.
+
+    Returns the finished worker process -- read ``.value`` for its result,
+    which re-raises the worker's own failure -- or None when the timer
+    wins: the worker is then interrupted (its cleanup handlers run, so
+    interrupt-safe resources are released) and defused so its demise
+    cannot crash the run. This is the single shape behind every timeout
+    guard in the launch stack (per-daemon spawn bounds, the FE handshake
+    bound); callers translate a None into their own exception type.
+    """
+    worker = sim.process(gen, name=name)
+    timer = sim.timeout(timeout)
+    yield sim.any_of([worker, timer])
+    if worker.is_alive:
+        worker.defuse()
+        worker.interrupt("bounded run timed out")
+        return None
+    return worker
 
 
 class Simulator:

@@ -15,12 +15,19 @@ Two startup paths are provided, matching Figure 6's comparison:
 * :func:`~repro.tbon.startup.launchmon_startup` -- back ends come up through
   LaunchMON's RM-based spawn; topology rides the LMONP handshake as
   piggybacked user data; only the tree edges remain to connect.
+
+The live :class:`Overlay` additionally *self-repairs*: when an internal
+node dies, :meth:`Overlay.repair` reparents every orphaned subtree onto
+its nearest live ancestor (parallel reconnects, paid in virtual time),
+restarts the routing plane, and returns a :class:`RepairReport` whose cost
+callers fold into a :class:`~repro.launch.LaunchReport`'s ``t_repair``
+phase -- recovery structure designed into the platform, not bolted on.
 """
 
 from repro.tbon.topology import TBONTopology, TopologyError
 from repro.tbon.filters import FILTER_REGISTRY, register_filter, get_filter
 from repro.tbon.packets import Packet
-from repro.tbon.overlay import Overlay, OverlayEndpoint
+from repro.tbon.overlay import Overlay, OverlayEndpoint, RepairReport
 from repro.tbon.startup import (
     StartupFailure,
     StartupReport,
@@ -33,6 +40,7 @@ __all__ = [
     "Overlay",
     "OverlayEndpoint",
     "Packet",
+    "RepairReport",
     "StartupFailure",
     "StartupReport",
     "TBONTopology",

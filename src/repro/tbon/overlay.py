@@ -11,6 +11,19 @@ child. Internal positions run a router process that
 
 The root's merged packets land in a delivery store the front-end endpoint
 reads. All payloads are JSON-able; sizes drive simulated transfer times.
+
+Self-repair
+-----------
+A TBON whose internal node dies loses the whole subtree below it -- unless
+the tree repairs itself. :meth:`Overlay.repair` implements the recovery
+structure: positions placed on failed nodes are marked dead, every orphaned
+live position reconnects to its **nearest live ancestor** (walking the old
+parent chain upward; the root -- the tool front end -- is live by
+definition), the routing plane restarts over the repaired shape, and the
+cost (parallel TCP reconnects) is returned in a :class:`RepairReport` so
+callers can land it in a :class:`~repro.launch.LaunchReport`'s ``t_repair``
+phase. Waves in flight during a repair are dropped -- exactly like a real
+TBON, the tool re-issues its outstanding wave after a repair.
 """
 
 from __future__ import annotations
@@ -25,7 +38,7 @@ from repro.tbon.filters import get_filter
 from repro.tbon.packets import Packet
 from repro.tbon.topology import TBONTopology
 
-__all__ = ["Overlay", "OverlayEndpoint", "StreamSpec"]
+__all__ = ["Overlay", "OverlayEndpoint", "RepairReport", "StreamSpec"]
 
 
 @dataclass(frozen=True)
@@ -34,6 +47,27 @@ class StreamSpec:
 
     stream_id: int
     filter_name: str = "concat"
+
+
+@dataclass
+class RepairReport:
+    """What one :meth:`Overlay.repair` pass did, and what it cost."""
+
+    #: positions newly found dead in this pass
+    n_dead: int = 0
+    #: live positions that had to reconnect to a new parent
+    n_reparented: int = 0
+    #: virtual seconds the repair took (parallel reconnects + restart)
+    t_repair: float = 0.0
+    #: position -> its new (nearest-live-ancestor) parent position
+    reparented: dict = field(default_factory=dict)
+    #: live internal positions retired because every descendant died --
+    #: left in place, their parent's router would wait forever for a
+    #: contribution that can never come
+    pruned: list = field(default_factory=list)
+    #: every position out of the tree after this pass (cumulative;
+    #: includes pruned positions)
+    dead: list = field(default_factory=list)
 
 
 class OverlayEndpoint:
@@ -74,7 +108,7 @@ class OverlayEndpoint:
 
 
 class Overlay:
-    """A placed, connected TBON instance."""
+    """A placed, connected TBON instance (with self-repair)."""
 
     def __init__(self, sim: Simulator, network: Network,
                  topology: TBONTopology, placement: dict[int, Node],
@@ -87,14 +121,45 @@ class Overlay:
         self.root_delivery: Store = Store(sim)
         self._up_channels: dict[int, Channel] = {}
         self._down_stores: dict[int, Store] = {}
+        self._inboxes: dict[int, Store] = {}
         self._routers_started = False
+        #: the *effective* tree: position -> parent, rewritten by repair()
+        self._parent: dict[int, Optional[int]] = {
+            p: topology.parent[p] for p in range(topology.size)}
+        #: positions whose node has died (never contains the root)
+        self._dead: set[int] = set()
+        #: live router/pump processes, interrupted on repair
+        self._plane_procs: list = []
+        #: every repair pass performed, in order
+        self.repairs: list[RepairReport] = []
         #: diagnostics
         self.packets_routed = 0
+
+    # -- effective structure ---------------------------------------------------
+    def parent_of(self, pos: int) -> Optional[int]:
+        """Effective parent of ``pos`` (None for the root)."""
+        return self._parent[pos]
+
+    def children_of(self, pos: int) -> list[int]:
+        """Live effective children of ``pos``."""
+        return [q for q in range(self.topology.size)
+                if q not in self._dead and self._parent[q] == pos]
+
+    def live_positions(self) -> list[int]:
+        """Positions whose node is still up (root included)."""
+        return [p for p in range(self.topology.size) if p not in self._dead]
+
+    def live_backends(self) -> list[int]:
+        """BE positions still up -- the leaves repair must preserve."""
+        return [p for p in self.topology.backends() if p not in self._dead]
+
+    def dead_positions(self) -> list[int]:
+        return sorted(self._dead)
 
     # -- plumbing ------------------------------------------------------------
     def _up_channel(self, child_pos: int) -> Channel:
         """The latency channel from ``child_pos`` up to its parent's inbox."""
-        parent = self.topology.parent[child_pos]
+        parent = self._parent[child_pos]
         key = child_pos
         if key not in self._up_channels:
             self._up_channels[key] = Channel(
@@ -108,7 +173,7 @@ class Overlay:
         return self._down_stores[pos]
 
     def _fan_down(self, pos: int, pkt: Packet) -> Generator[Any, Any, None]:
-        for child in self.topology.children(pos):
+        for child in self.children_of(pos):
             delay = self.network.transfer_time(pkt)
             yield self.sim.timeout(delay)
             yield self._down_store(child).put(pkt)
@@ -119,28 +184,39 @@ class Overlay:
 
     # -- routers ---------------------------------------------------------------
     def start_routers(self) -> None:
-        """Start one router process per internal position (root included)."""
+        """Start one router process per live internal position (root
+        included); routers are registered as residents of their node, so a
+        node crash kills its routing processes with it."""
         if self._routers_started:
             return
         self._routers_started = True
         for pos in range(self.topology.size):
-            if self.topology.children(pos):
-                self.sim.process(self._route_up(pos), name=f"tbon-router:{pos}")
+            if pos in self._dead:
+                continue
+            if self.children_of(pos):
+                self._start_plane_proc(
+                    pos, self._route_up(pos), f"tbon-router:{pos}")
                 if pos != 0:
-                    self.sim.process(self._route_down(pos),
-                                     name=f"tbon-fwd:{pos}")
+                    self._start_plane_proc(
+                        pos, self._route_down(pos), f"tbon-fwd:{pos}")
+
+    def _start_plane_proc(self, pos: int, gen, name: str) -> None:
+        proc = self.sim.process(gen, name=name)
+        self._plane_procs.append(proc)
+        node = self.placement.get(pos)
+        if node is not None:
+            node.register_body(proc)
 
     def _inbox(self, pos: int) -> Store:
-        """The upstream inbox shared by all children of ``pos``."""
-        # one child's channel delivers into its own store; unify by draining
-        # each child channel into a per-position store via pump processes.
-        key = ("inbox", pos)
-        if not hasattr(self, "_inboxes"):
-            self._inboxes: dict[int, Store] = {}
+        """The upstream inbox shared by all children of ``pos``.
+
+        One child's channel delivers into its own store; unify by draining
+        each child channel into a per-position store via pump processes.
+        """
         if pos not in self._inboxes:
             inbox = Store(self.sim)
             self._inboxes[pos] = inbox
-            for child in self.topology.children(pos):
+            for child in self.children_of(pos):
                 chan = self._up_channel(child)
 
                 def pump(chan=chan, inbox=inbox):
@@ -148,12 +224,12 @@ class Overlay:
                         item = yield chan.recv()
                         yield inbox.put(item)
 
-                self.sim.process(pump(), name=f"tbon-pump:{pos}")
+                self._start_plane_proc(pos, pump(), f"tbon-pump:{pos}")
         return self._inboxes[pos]
 
     def _route_up(self, pos: int):
         """Collect per-(stream, wave) child contributions; filter; forward."""
-        children = self.topology.children(pos)
+        children = self.children_of(pos)
         expected = len(children)
         buffers: dict[tuple[int, int], list] = {}
         inbox = self._inbox(pos)
@@ -182,3 +258,90 @@ class Overlay:
         while True:
             pkt = yield self._down_store(pos).get()
             yield from self._fan_down(pos, pkt)
+
+    # -- self-repair ------------------------------------------------------------
+    def repair(self) -> Generator[Any, Any, RepairReport]:
+        """Reparent orphaned subtrees around dead nodes; returns the cost.
+
+        Scans the placement for positions whose node has failed, marks them
+        dead, and reconnects every orphaned *live* position to its nearest
+        live ancestor (all reconnects in parallel -- each pays one TCP
+        connect between the actual nodes). The routing plane is then
+        restarted over the repaired tree. Wave state buffered in routers is
+        dropped (re-issue outstanding waves after a repair). A pass that
+        finds nothing newly dead costs nothing and changes nothing.
+
+        Fold ``RepairReport.t_repair`` into the owning launch/startup
+        report's ``t_repair`` phase to keep the attribution story whole.
+        """
+        sim = self.sim
+        t0 = sim.now
+        newly_dead = sorted(
+            p for p in range(1, self.topology.size)
+            if p not in self._dead
+            and self.placement.get(p) is not None
+            and self.placement[p].failed)
+        if not newly_dead:
+            return RepairReport(dead=self.dead_positions())
+        self._dead.update(newly_dead)
+
+        # tear down the old routing plane (dead routers are already gone --
+        # their node's fail() interrupted them)
+        for proc in self._plane_procs:
+            if proc.is_alive:
+                proc.defuse()
+                proc.interrupt("tbon repair")
+        self._plane_procs.clear()
+        self._up_channels.clear()
+        self._down_stores.clear()
+        self._inboxes.clear()
+
+        # orphans reparent to the nearest live ancestor along the old chain
+        reparented: dict[int, int] = {}
+        for pos in range(1, self.topology.size):
+            if pos in self._dead:
+                continue
+            parent = self._parent[pos]
+            if parent in self._dead:
+                ancestor = parent
+                while ancestor in self._dead:
+                    ancestor = self._parent[ancestor]
+                reparented[pos] = ancestor
+
+        def reconnect(pos: int, ancestor: int):
+            yield from self.network.connect(self.placement[pos],
+                                            self.placement[ancestor])
+
+        workers = [sim.process(reconnect(pos, anc), name=f"tbon-repair:{pos}")
+                   for pos, anc in sorted(reparented.items())]
+        if workers:
+            yield sim.all_of(workers)
+        for pos, anc in reparented.items():
+            self._parent[pos] = anc
+
+        # prune live internal positions stranded with no live children
+        # (all their leaves died): they can never contribute to a wave,
+        # so keeping them as silent children would hang their parent's
+        # router. Iterate to a fixpoint -- pruning one comm can strand
+        # the comm above it.
+        pruned: list = []
+        changed = True
+        while changed:
+            changed = False
+            for pos in range(1, self.topology.size):
+                if pos in self._dead:
+                    continue
+                if (self.topology.kind[pos] != "be"
+                        and not self.children_of(pos)):
+                    self._dead.add(pos)
+                    pruned.append(pos)
+                    changed = True
+
+        self._routers_started = False
+        self.start_routers()
+        report = RepairReport(
+            n_dead=len(newly_dead), n_reparented=len(reparented),
+            t_repair=sim.now - t0, reparented=reparented,
+            pruned=sorted(pruned), dead=self.dead_positions())
+        self.repairs.append(report)
+        return report

@@ -1,0 +1,33 @@
+"""docs/ is the canonical reference: links must resolve, examples must run."""
+
+import doctest
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "scripts"))
+
+import check_doc_links  # noqa: E402
+
+PAGES = sorted((ROOT / "docs").glob("*.md"))
+
+
+def test_docs_tree_exists():
+    names = {p.name for p in PAGES}
+    assert {"architecture.md", "experiments.md",
+            "failure-modes.md"} <= names
+
+
+def test_no_broken_internal_links():
+    failures = []
+    for page in [ROOT / "README.md", *PAGES]:
+        failures.extend(check_doc_links.broken_links(page))
+    assert not failures, failures
+
+
+def test_fenced_examples_run():
+    for page in PAGES:
+        result = doctest.testfile(
+            str(page), module_relative=False,
+            optionflags=doctest.NORMALIZE_WHITESPACE)
+        assert result.failed == 0, f"{page.name}: {result.failed} failures"

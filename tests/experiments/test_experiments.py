@@ -11,6 +11,7 @@ from repro.experiments import (
     run_fig5,
     run_fig6,
     run_launch_matrix,
+    run_resilience,
     run_table1,
 )
 from repro.experiments.cli import main as cli_main
@@ -182,6 +183,38 @@ class TestLaunchMatrix:
             assert seq["total"] > tree["total"] > rm["total"]
 
 
+class TestResilience:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_resilience(daemon_counts=(16,), fault_rates=(0.0, 0.1),
+                              strategies=("serial-rsh", "tree-rsh"))
+
+    def _cell(self, result, strategy, rate, repair):
+        for row in result.rows:
+            if (row["strategy"] == strategy and row["fault_rate"] == rate
+                    and row["repair"] == repair):
+                return row
+        raise KeyError((strategy, rate, repair))
+
+    def test_full_sweep_present(self, result):
+        assert len(result.rows) == 1 * 2 * 2 * 2
+
+    def test_faultfree_is_ready_either_way(self, result):
+        for strategy in ("serial-rsh", "tree-rsh"):
+            for repair in (False, True):
+                assert self._cell(result, strategy, 0.0,
+                                  repair)["state"] == "ready"
+
+    def test_repair_survives_what_legacy_does_not(self, result):
+        fragile = self._cell(result, "tree-rsh", 0.1, False)
+        repaired = self._cell(result, "tree-rsh", 0.1, True)
+        assert fragile["state"] == "failed"
+        assert repaired["state"] in ("degraded", "ready")
+        if repaired["state"] == "degraded":
+            assert repaired["n_failed"] > 0
+            assert repaired["up"] + repaired["n_failed"] == 16
+
+
 class TestCli:
     def test_cli_quick_run(self, capsys):
         assert cli_main(["table1", "--quick"]) == 0
@@ -196,6 +229,10 @@ class TestCli:
     def test_cli_launch_matrix_quick(self, capsys):
         assert cli_main(["lmx", "--quick"]) == 0
         assert "Launch matrix" in capsys.readouterr().out
+
+    def test_cli_resilience_quick(self, capsys):
+        assert cli_main(["res", "--quick"]) == 0
+        assert "Resilient launch" in capsys.readouterr().out
 
     def test_cli_rejects_unknown(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,174 @@
+"""TBON self-repair: reparenting correctness, cost, and wave integrity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.simx import Simulator
+from repro.tbon import Overlay, TBONTopology
+from repro.tbon.overlay import StreamSpec
+from repro.experiments.resilience import measure_tbon_repair
+
+
+def _overlay(sim, topo, n_extra=0, seed=3):
+    cluster = Cluster(sim, ClusterSpec(
+        n_compute=topo.size + n_extra, seed=seed))
+    placement = {0: cluster.front_end}
+    comms = topo.comm_positions()
+    for i, pos in enumerate(comms):
+        placement[pos] = cluster.compute[i]
+    for i, pos in enumerate(topo.backends()):
+        placement[pos] = cluster.compute[len(comms) + i]
+    overlay = Overlay(sim, cluster.network, topo, placement,
+                      streams={1: StreamSpec(1, "concat")})
+    overlay.start_routers()
+    return cluster, placement, overlay
+
+
+def _reaches_root(overlay, pos) -> bool:
+    seen = set()
+    while pos is not None and pos not in seen:
+        if pos == 0:
+            return True
+        seen.add(pos)
+        pos = overlay.parent_of(pos)
+    return False
+
+
+def _drive(sim, gen):
+    proc = sim.process(gen, name="driver")
+    sim.run(until=600)
+    assert proc.triggered
+    return proc.value
+
+
+class TestRepair:
+    def test_noop_when_nothing_dead(self, sim):
+        topo = TBONTopology.balanced(16, fanout=4)
+        _cluster, _placement, overlay = _overlay(sim, topo)
+
+        def scenario():
+            report = yield from overlay.repair()
+            assert report.n_dead == 0
+            assert report.n_reparented == 0
+            assert report.t_repair == 0.0
+
+        _drive(sim, scenario())
+
+    def test_dead_comm_node_reparents_and_costs(self, sim):
+        topo = TBONTopology.balanced(32, fanout=8)
+        _cluster, placement, overlay = _overlay(sim, topo)
+        victim = topo.comm_positions()[0]
+
+        def scenario():
+            placement[victim].fail("test")
+            report = yield from overlay.repair()
+            assert report.n_dead == 1
+            # the victim's children now hang off the root directly
+            assert report.n_reparented == len(topo.children(victim))
+            assert all(p == 0 for p in report.reparented.values())
+            assert report.t_repair > 0.0
+            assert overlay.repairs == [report]
+
+        _drive(sim, scenario())
+
+    def test_wave_merges_after_repair(self, sim):
+        topo = TBONTopology.balanced(24, fanout=4)
+        _cluster, placement, overlay = _overlay(sim, topo)
+
+        def scenario():
+            for pos in topo.comm_positions()[:2]:
+                placement[pos].fail("test")
+            yield from overlay.repair()
+            root = overlay.endpoint(0)
+            for pos in overlay.live_backends():
+                sim.process(overlay.endpoint(pos).send_wave(1, 1, [pos]),
+                            name=f"w{pos}")
+            pkt = yield from root.collect_wave()
+            assert len(pkt.payload) == 24  # every leaf still reduces
+
+        _drive(sim, scenario())
+
+    def test_dead_leaf_is_removed_not_reparented(self, sim):
+        topo = TBONTopology.balanced(16, fanout=4)
+        _cluster, placement, overlay = _overlay(sim, topo)
+        leaf = topo.backends()[3]
+
+        def scenario():
+            placement[leaf].fail("test")
+            report = yield from overlay.repair()
+            assert report.n_dead == 1
+            assert leaf not in overlay.live_backends()
+            assert report.n_reparented == 0  # leaves have no subtree
+
+        _drive(sim, scenario())
+
+    def test_stranded_comm_is_pruned_and_waves_still_merge(self, sim):
+        # kill every leaf under one comm node (the comm itself survives):
+        # the childless comm must be pruned from the tree, or the root's
+        # router would wait forever for its contribution
+        topo = TBONTopology.balanced(4, fanout=2)
+        _cluster, placement, overlay = _overlay(sim, topo)
+        victim_comm = topo.comm_positions()[0]
+        orphan_leaves = topo.children(victim_comm)
+
+        def scenario():
+            for pos in orphan_leaves:
+                placement[pos].fail("test")
+            report = yield from overlay.repair()
+            assert report.pruned == [victim_comm]
+            assert victim_comm in overlay.dead_positions()
+            root = overlay.endpoint(0)
+            for pos in overlay.live_backends():
+                sim.process(overlay.endpoint(pos).send_wave(1, 1, [pos]),
+                            name=f"w{pos}")
+            pkt = yield from root.collect_wave()
+            assert len(pkt.payload) == 4 - len(orphan_leaves)
+
+        _drive(sim, scenario())
+
+    def test_experiment_helper(self):
+        cell = measure_tbon_repair(n_backends=32, fanout=4, n_comm_kill=2)
+        assert cell["leaves_after"] == cell["leaves_before"] == 32
+        assert cell["wave_merged"] == 32
+        assert cell["n_reparented"] > 0
+        assert cell["report"]["t_repair"] == pytest.approx(cell["t_repair"])
+
+
+class TestRepairProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(n_be=st.integers(min_value=4, max_value=48),
+           fanout=st.integers(min_value=2, max_value=6),
+           data=st.data())
+    def test_reparent_preserves_all_leaves(self, n_be, fanout, data):
+        """Killing any subset of comm nodes never loses a live leaf: every
+        BE position stays present and connected to the root through live
+        ancestors only."""
+        topo = TBONTopology.balanced(n_be, fanout=fanout)
+        comms = topo.comm_positions()
+        if not comms:
+            return  # one-deep shape: no internal nodes to kill
+        victims = data.draw(st.sets(st.sampled_from(comms)))
+        sim = Simulator()
+        _cluster, placement, overlay = _overlay(sim, topo)
+
+        def scenario():
+            for pos in victims:
+                placement[pos].fail("property kill")
+            report = yield from overlay.repair()
+            return report
+
+        proc = sim.process(scenario(), name="driver")
+        sim.run(until=600)
+        assert proc.triggered
+        report = proc.value
+        assert report.n_dead == len(victims)
+        # all leaves preserved...
+        assert overlay.live_backends() == topo.backends()
+        # ...and each reaches the root without touching a dead position
+        for leaf in overlay.live_backends():
+            pos = leaf
+            while pos != 0:
+                pos = overlay.parent_of(pos)
+                assert pos not in victims
+            assert _reaches_root(overlay, leaf)
