@@ -1,0 +1,139 @@
+"""Streaming bench: a 1024-leaf stream must sustain waves, bounded.
+
+Asserts the headline claims of the streaming data plane:
+
+* a 1024-leaf persistent stream sustains N waves end to end under
+  credit-based flow control with a **bounded root inbox**: the credit
+  limit is respected -- the deepest any stream inbox (root included)
+  ever gets is <= the limit -- with publishers absorbing the excess as
+  backpressure stalls;
+* the :class:`~repro.tbon.StreamReport`'s per-wave latency attribution
+  is **exact**: for every delivered wave ``t_fanin + t_filter +
+  t_deliver`` equals the measured end-to-end wave latency, and the
+  per-phase totals sum to the measured total latency;
+* the :class:`~repro.perfmodel.StreamModel` analytic throughput
+  (widest-router merge + credit-gated feeding + forward hop) matches the
+  simulated sustained rate within tolerance;
+* fault-free ``fig6``/``lmx`` bit-identity to the PR 3 baseline is
+  guarded separately by ``tests/tbon/test_stream_bit_identity.py``.
+
+Under pytest-benchmark the series lands in ``extra_info`` (JSON via
+``--benchmark-json``); run the file directly for plain JSON on stdout:
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py [--quick]
+"""
+
+import json
+import sys
+
+import pytest
+
+from repro.experiments.streaming import measure_stream
+
+N_LEAVES = 1024
+QUICK_LEAVES = 128
+N_WAVES = 30
+CREDIT_LIMIT = 4
+WINDOW = 8
+FANOUT = 32
+#: sim-vs-model tolerance for the sustained throughput
+MODEL_TOLERANCE = 0.15
+#: float slack for the exact per-wave phase decomposition
+EPS = 1e-9
+
+
+def streaming_series(n_leaves=N_LEAVES, n_waves=N_WAVES,
+                     credit_limit=CREDIT_LIMIT, window=WINDOW,
+                     fanout=FANOUT):
+    """The benchmark's payload as a JSON-able dict."""
+    saturated = measure_stream(
+        n_leaves, filter_name="histogram", window=window,
+        credit_limit=credit_limit, n_waves=n_waves, fanout=fanout)
+    paced = measure_stream(
+        n_leaves, filter_name="ewma", window=window,
+        credit_limit=credit_limit, n_waves=max(4, n_waves // 3),
+        fanout=fanout, publish_interval=0.05)
+    for cell in (saturated, paced):
+        cell.pop("final_state", None)
+        cell.pop("waves", None)
+    return {
+        "config": {
+            "n_leaves": n_leaves, "n_waves": n_waves,
+            "credit_limit": credit_limit, "window": window,
+            "fanout": fanout, "model_tolerance": MODEL_TOLERANCE,
+        },
+        "saturated": saturated,
+        "paced": paced,
+    }
+
+
+def check_claims(payload) -> None:
+    """The data-plane claims, assertable on any payload size."""
+    cfg = payload["config"]
+    sat = payload["saturated"]
+
+    # the stream sustained every wave...
+    assert sat["delivered"] == cfg["n_waves"], sat["delivered"]
+    # ...with every inbox depth bounded by the credit limit (the root's
+    # child inbox and the root delivery queue included)
+    assert sat["max_inbox_depth"] <= cfg["credit_limit"], \
+        sat["max_inbox_depth"]
+    for pos, flow in sat["report"]["flow"].items():
+        assert flow["high_water"] <= cfg["credit_limit"], (pos, flow)
+    # saturating publishers must actually have hit the backpressure
+    assert sat["n_stalls"] > 0 and sat["t_stalled"] > 0.0
+
+    # per-wave latency attribution sums exactly to the measured latency
+    waves = sat["report"]["waves"]
+    assert len(waves) == cfg["n_waves"]
+    for wt in waves:
+        parts = wt["t_fanin"] + wt["t_filter"] + wt["t_deliver"]
+        assert abs(parts - wt["latency"]) < EPS, wt
+    # ...and the phase totals sum to the measured total latency
+    totals = sat["phase_totals"]
+    phase_sum = sum(totals.values())
+    assert abs(phase_sum - sat["total_latency"]) < EPS * len(waves), \
+        (phase_sum, sat["total_latency"])
+    measured_total = sum(wt["latency"] for wt in waves)
+    assert abs(sat["total_latency"] - measured_total) < EPS * len(waves)
+
+    # the analytic model matches the simulated sustained throughput
+    assert sat["model_err"] <= MODEL_TOLERANCE, sat["model_err"]
+
+    # a paced stream is cadence-bound, not router-bound, and stays exact
+    paced = payload["paced"]
+    assert paced["delivered"] > 0
+    assert paced["model_err"] <= MODEL_TOLERANCE, paced["model_err"]
+    for wt in paced["report"]["waves"]:
+        parts = wt["t_fanin"] + wt["t_filter"] + wt["t_deliver"]
+        assert abs(parts - wt["latency"]) < EPS, wt
+
+
+@pytest.mark.benchmark(group="streaming")
+def bench_streaming_1024(benchmark):
+    """Full-size run; asserts every data-plane claim."""
+    payload = benchmark.pedantic(streaming_series, rounds=1, iterations=1)
+    sat = payload["saturated"]
+    benchmark.extra_info["delivered"] = sat["delivered"]
+    benchmark.extra_info["throughput"] = round(sat["throughput"], 2)
+    benchmark.extra_info["throughput_model"] = round(
+        sat["throughput_model"], 2)
+    benchmark.extra_info["model_err_pct"] = round(
+        100 * sat["model_err"], 2)
+    benchmark.extra_info["max_inbox_depth"] = sat["max_inbox_depth"]
+    benchmark.extra_info["n_stalls"] = sat["n_stalls"]
+    benchmark.extra_info["mean_latency"] = round(sat["mean_latency"], 6)
+    benchmark.extra_info["dominant_phase"] = sat["dominant_phase"]
+    check_claims(payload)
+
+
+def main(argv=None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    n = QUICK_LEAVES if "--quick" in argv else N_LEAVES
+    payload = streaming_series(n_leaves=n)
+    check_claims(payload)
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -122,6 +122,59 @@ class BackEnd:
                 lmon_payload=LmonpMessage.json_payload(report))
             yield self._stream.send(msg)
 
+    # -- TBON streaming (the data plane) ----------------------------------------
+    def attach_overlay(self, endpoint) -> None:
+        """Bind this daemon to its TBON overlay position.
+
+        ``endpoint`` is the :class:`~repro.tbon.OverlayEndpoint` a startup
+        path (e.g. :func:`~repro.tbon.launchmon_startup`'s
+        ``daemon_body``) hands the daemon; it enables the ``stream_*``
+        operations below.
+        """
+        self._overlay_endpoint = endpoint
+
+    def stream_open(self, spec):
+        """Open (or join) a persistent stream on the attached overlay.
+
+        Idempotent per stream id -- every daemon and the front end call
+        this with the same :class:`~repro.tbon.StreamSpec` and share one
+        :class:`~repro.tbon.Stream`.
+        """
+        ep = self._require_overlay("stream_open")
+        return ep.overlay.open_stream(spec)
+
+    def stream_publish(self, stream, wave: int, payload: Any,
+                       ) -> Generator[Any, Any, None]:
+        """Publish this daemon's contribution for one stream wave.
+
+        Blocks under credit-based backpressure while the parent's stream
+        inbox is saturated -- a slow subscriber slows the publishers,
+        it does not overflow the tree.
+        """
+        ep = self._require_overlay("stream_publish")
+        yield from stream.publish(ep.position, wave, payload)
+
+    def stream_subscribe(self) -> Generator[Any, Any, Any]:
+        """Wait for the next downstream (FE -> leaves) control packet.
+
+        This listens on the overlay's *broadcast* plane (how the front
+        end steers its samplers: start/stop/retarget commands pushed
+        with ``OverlayEndpoint.broadcast``), NOT on a persistent
+        stream's upward data path -- persistent streams carry data up
+        only, so pairing this with ``stream_publish`` in a loop without
+        an FE that actually broadcasts will wait forever.
+        """
+        ep = self._require_overlay("stream_subscribe")
+        pkt = yield from ep.recv_broadcast()
+        return pkt
+
+    def _require_overlay(self, what: str):
+        ep = getattr(self, "_overlay_endpoint", None)
+        if ep is None:
+            raise RuntimeError(
+                f"{what} requires attach_overlay(endpoint) first")
+        return ep
+
     # -- collectives (general tool use) ----------------------------------------
     def barrier(self) -> Generator[Any, Any, None]:
         yield from self.ep.barrier()

@@ -16,6 +16,8 @@ A4        extension: Jobsnap collection over a TBON (paper future work)
 mt        extension: multi-tenant ToolService throughput + latency sweep
 lmx       extension: launch strategy x image-staging matrix (per-phase)
 res       extension: fault-rate x strategy x repair resilience sweep
+str       extension: streaming data plane (leaves x filter x window x
+          credit-limit, sim vs StreamModel)
 ========  ==========================================================
 
 Run from the command line: ``python -m repro.experiments fig3`` (or the
@@ -27,6 +29,7 @@ from repro.experiments.fig3 import run_fig3
 from repro.experiments.launchmatrix import run_launch_matrix
 from repro.experiments.multitenant import run_multitenant
 from repro.experiments.resilience import run_resilience
+from repro.experiments.streaming import run_streaming
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
 from repro.experiments.table1 import run_table1
@@ -49,6 +52,7 @@ __all__ = [
     "run_launch_matrix",
     "run_multitenant",
     "run_resilience",
+    "run_streaming",
     "run_table1",
     "percentile",
 ]

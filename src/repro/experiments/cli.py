@@ -16,6 +16,7 @@ from repro.experiments import (
     run_launch_matrix,
     run_multitenant,
     run_resilience,
+    run_streaming,
     run_table1,
 )
 
@@ -35,6 +36,8 @@ QUICK_SWEEPS = {
     "lmx": dict(daemon_counts=(16, 64)),
     "res": dict(daemon_counts=(32,), fault_rates=(0.0, 0.05),
                 strategies=("serial-rsh", "tree-rsh")),
+    "str": dict(leaf_counts=(16, 64), filters=("histogram", "ewma"),
+                windows=(4,), credit_limits=(2, 8), n_waves=10),
 }
 
 RUNNERS = {
@@ -49,6 +52,7 @@ RUNNERS = {
     "mt": run_multitenant,
     "lmx": run_launch_matrix,
     "res": run_resilience,
+    "str": run_streaming,
 }
 
 

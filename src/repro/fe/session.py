@@ -119,6 +119,14 @@ class LMONSession:
         self.engine = None
         self.be_stream = None
         self.mw_stream = None
+        #: the session's TBON overlay, attached by a startup path
+        #: (e.g. :func:`~repro.tbon.launchmon_startup`); enables
+        #: :meth:`open_stream`
+        self.overlay = None
+        #: the comm daemons' :class:`~repro.mw.Middleware` runtimes,
+        #: overlay-attached by the startup path (MW stream face:
+        #: ``stream_subscribe`` taps / ``stream_state``)
+        self.mw_runtimes: list = []
         #: allocations this session obtained itself (returned on detach/kill)
         self.owned_allocs: list = []
         # data-transfer registration (jsonable-structure transforms)
@@ -155,6 +163,37 @@ class LMONSession:
         """``LMON_fe_regStatusCB``: call ``cb(session, old, new)`` on every
         state transition, synchronously, in registration order."""
         self._status_cbs.append(cb)
+
+    # -- streaming data plane ----------------------------------------------
+    def open_stream(self, stream_id: Optional[int] = None,
+                    filter_name: str = "concat", credit_limit: int = 0,
+                    window: int = 0, **filter_params: Any):
+        """Open a persistent, flow-controlled stream over the session's
+        TBON (front-end handle of the data plane).
+
+        Requires a usable daemon set (READY / DEGRADED / MW_READY) and an
+        attached overlay (:func:`~repro.tbon.launchmon_startup` attaches
+        one). Returns the shared :class:`~repro.tbon.Stream` -- idempotent
+        per id, so daemons that already opened the same spec hand back the
+        same object. ``stream_id=None`` allocates the next free id.
+        Streams keep delivering from a DEGRADED session: the surviving
+        leaves are the publishers.
+        """
+        from repro.tbon.overlay import StreamSpec
+
+        self.require_state(SessionState.READY, SessionState.DEGRADED,
+                           SessionState.MW_READY)
+        if self.overlay is None:
+            raise RuntimeError(
+                f"session {self.id} has no TBON overlay attached "
+                f"(start one with launchmon_startup)")
+        if stream_id is None:
+            stream_id = self.overlay.next_stream_id()
+        spec = StreamSpec(
+            stream_id, filter_name, credit_limit=credit_limit,
+            window=window,
+            filter_params=tuple(sorted(filter_params.items())))
+        return self.overlay.open_stream(spec)
 
     def unregister_status_cb(self, cb: StatusCallback) -> None:
         """Remove a previously registered status callback."""

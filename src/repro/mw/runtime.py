@@ -94,6 +94,39 @@ class Middleware:
                 lmon_payload=LmonpMessage.json_payload(report))
             yield self._stream.send(msg)
 
+    # -- TBON streaming (the data plane) ------------------------------------------
+    def attach_overlay(self, endpoint) -> None:
+        """Bind this comm daemon to its internal TBON overlay position."""
+        self._overlay_endpoint = endpoint
+
+    def stream_open(self, spec):
+        """Open (or join) a persistent stream on the attached overlay."""
+        ep = self._require_overlay("stream_open")
+        return ep.overlay.open_stream(spec)
+
+    def stream_subscribe(self, stream):
+        """Tap the merged waves flowing through this daemon's position.
+
+        Returns a :class:`~repro.simx.Store` receiving every
+        ``(wave, merged_payload)`` this position's stream router reduces
+        -- a middleware daemon's live view of its subtree, without
+        joining the reduction itself.
+        """
+        ep = self._require_overlay("stream_subscribe")
+        return stream.subscribe(ep.position)
+
+    def stream_state(self, stream) -> Any:
+        """This position's running filter state (windowed aggregates)."""
+        ep = self._require_overlay("stream_state")
+        return stream.state_at(ep.position)
+
+    def _require_overlay(self, what: str):
+        ep = getattr(self, "_overlay_endpoint", None)
+        if ep is None:
+            raise RuntimeError(
+                f"{what} requires attach_overlay(endpoint) first")
+        return ep
+
     # -- collectives / data ------------------------------------------------------
     def barrier(self) -> Generator[Any, Any, None]:
         yield from self.ep.barrier()

@@ -12,8 +12,8 @@ from measurement sweeps (the paper's methodology: measure at small scale,
 fit, predict upward).
 """
 
-from repro.perfmodel.model import LaunchModel, ModelInputs
+from repro.perfmodel.model import LaunchModel, ModelInputs, StreamModel
 from repro.perfmodel.fit import FittedLine, fit_component_scaling
 
-__all__ = ["FittedLine", "LaunchModel", "ModelInputs",
+__all__ = ["FittedLine", "LaunchModel", "ModelInputs", "StreamModel",
            "fit_component_scaling"]

@@ -25,9 +25,33 @@ phase -- recovery structure designed into the platform, not bolted on.
 """
 
 from repro.tbon.topology import TBONTopology, TopologyError
-from repro.tbon.filters import FILTER_REGISTRY, register_filter, get_filter
+from repro.tbon.filters import (
+    FILTER_REGISTRY,
+    Filter,
+    StatelessFilter,
+    get_filter,
+    make_filter,
+    register_filter,
+    register_stream_filter,
+    stream_filter_names,
+)
+from repro.tbon.flow import (
+    BoundedInbox,
+    FlowStats,
+    STREAM_PHASES,
+    StreamError,
+    StreamReport,
+    WaveTiming,
+)
 from repro.tbon.packets import Packet
-from repro.tbon.overlay import Overlay, OverlayEndpoint, RepairReport
+from repro.tbon.overlay import (
+    DEFAULT_CREDIT_LIMIT,
+    Overlay,
+    OverlayEndpoint,
+    RepairReport,
+    Stream,
+    StreamSpec,
+)
 from repro.tbon.startup import (
     StartupFailure,
     StartupReport,
@@ -36,17 +60,31 @@ from repro.tbon.startup import (
 )
 
 __all__ = [
+    "BoundedInbox",
+    "DEFAULT_CREDIT_LIMIT",
     "FILTER_REGISTRY",
+    "Filter",
+    "FlowStats",
     "Overlay",
     "OverlayEndpoint",
     "Packet",
     "RepairReport",
+    "STREAM_PHASES",
     "StartupFailure",
     "StartupReport",
+    "StatelessFilter",
+    "Stream",
+    "StreamError",
+    "StreamReport",
+    "StreamSpec",
     "TBONTopology",
     "TopologyError",
+    "WaveTiming",
     "get_filter",
     "launchmon_startup",
+    "make_filter",
     "native_startup",
     "register_filter",
+    "register_stream_filter",
+    "stream_filter_names",
 ]

@@ -1,24 +1,73 @@
-"""TBON reduction filters.
+"""TBON reduction filters: stateless wave reducers and stateful stream filters.
 
 A filter reduces the payloads of one wave's child packets (plus the local
 contribution, if any) into a single upstream payload. Filters are
 registered by name so topologies/streams can reference them portably --
 mirroring MRNet's filter-id mechanism.
+
+Two faces share one registry:
+
+* the **legacy callable face** (``get_filter(name)(payloads)``) used by
+  one-shot wave reductions -- unchanged since the seed;
+* the **stream face** (``make_filter(name, window=..., **params)``) used
+  by persistent streams (:meth:`repro.tbon.Overlay.open_stream`), which
+  returns a :class:`Filter` whose ``reduce(payloads, state)`` both merges
+  one wave *and* folds it into per-position running state.
+
+Algebraic contract (the executable spec lives in
+``tests/tbon/test_filter_properties.py``): the per-wave merge of every
+built-in filter is **associative and commutative**, so the value the root
+delivers is independent of fanout, depth, and child arrival order --
+reducing through any tree shape equals one flat reduction over all leaf
+payloads. The *state* is where windowing lives: each position folds its
+subtree's per-wave merges into a running aggregate over the last
+``window`` waves (0 = unbounded). Emitting the wave *delta* upstream while
+keeping the running aggregate in local state is what lets every level hold
+a live windowed view of its subtree without ever double-counting history.
+
+Built-in stream filters and their MRNet/paper correspondence:
+
+==================  ====================================================
+``concat``          MRNet TFILTER_CONCAT / waitforall (stateless)
+``sum`` / ``max``   MRNet TFILTER_SUM / TFILTER_MAX (stateless)
+``histogram``       running histogram: payloads are ``{bin: count}``
+                    dicts, merged pointwise (ScalAna-style per-resource
+                    accumulation)
+``top_k``           exact distributed top-k: payloads are
+                    ``[value, key]`` item lists, key-deduplicated by max
+``ewma``            EWMA of per-wave aggregate sums (a continuous
+                    sampler's rate estimator)
+``prefix_tree_merge``  STAT's call-graph prefix-tree union, promoted here
+                    from ``repro.tools.stat_tool`` (pure dict merge, no
+                    tool import needed)
+==================  ====================================================
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
-__all__ = ["FILTER_REGISTRY", "get_filter", "register_filter"]
+__all__ = [
+    "FILTER_REGISTRY",
+    "Filter",
+    "StatelessFilter",
+    "get_filter",
+    "make_filter",
+    "register_filter",
+    "register_stream_filter",
+    "stream_filter_names",
+]
 
 FilterFn = Callable[[Sequence[Any]], Any]
 
 FILTER_REGISTRY: dict[str, FilterFn] = {}
 
+#: stream-filter factories: name -> factory(window=..., **params) -> Filter
+STREAM_FILTER_REGISTRY: dict[str, Callable[..., "Filter"]] = {}
+
 
 def register_filter(name: str, fn: FilterFn) -> None:
-    """Register (or replace) a named reduction filter."""
+    """Register (or replace) a named reduction filter (legacy callable)."""
     FILTER_REGISTRY[name] = fn
 
 
@@ -30,7 +79,76 @@ def get_filter(name: str) -> FilterFn:
                        f"{sorted(FILTER_REGISTRY)}") from None
 
 
-# -- built-in filters ---------------------------------------------------------
+def register_stream_filter(name: str,
+                           factory: Callable[..., "Filter"]) -> None:
+    """Register (or replace) a stateful stream-filter factory."""
+    STREAM_FILTER_REGISTRY[name] = factory
+
+
+def stream_filter_names() -> list[str]:
+    """Every name usable by a persistent stream (stateful or wrapped)."""
+    return sorted(set(STREAM_FILTER_REGISTRY) | set(FILTER_REGISTRY))
+
+
+def make_filter(name: str, window: int = 0, **params: Any) -> "Filter":
+    """Instantiate the stream face of filter ``name``.
+
+    Stateful built-ins honour ``window`` (and filter-specific ``params``
+    like ``k`` or ``alpha``); a name registered only as a legacy callable
+    comes back wrapped in a :class:`StatelessFilter`.
+    """
+    factory = STREAM_FILTER_REGISTRY.get(name)
+    if factory is not None:
+        return factory(window=window, **params)
+    fn = get_filter(name)  # raises the unknown-name KeyError first
+    if params:
+        raise KeyError(
+            f"TBON filter {name!r} is stateless; it takes no parameters "
+            f"{sorted(params)} (stateful filters: "
+            f"{sorted(STREAM_FILTER_REGISTRY)})")
+    return StatelessFilter(fn, name)
+
+
+class Filter:
+    """A stateful TBON stream filter.
+
+    ``reduce(payloads, state)`` merges one wave's child payloads into the
+    upstream payload and folds the merge into ``state`` (created by
+    :meth:`initial_state`; one state lives per (stream, position), passed
+    back in on every wave). The merge MUST be associative and commutative
+    -- that is what makes the root's result independent of tree shape and
+    arrival order. Instances carry no per-position data themselves, so one
+    instance can serve a whole stream.
+    """
+
+    name = "?"
+
+    def initial_state(self) -> Any:
+        return None
+
+    def reduce(self, payloads: Sequence[Any],
+               state: Any) -> tuple[Any, Any]:
+        raise NotImplementedError
+
+    # the legacy callable face: single stateless wave reduction
+    def __call__(self, payloads: Sequence[Any]) -> Any:
+        merged, _state = self.reduce(payloads, self.initial_state())
+        return merged
+
+
+class StatelessFilter(Filter):
+    """Adapter giving a legacy callable the stream-filter interface."""
+
+    def __init__(self, fn: FilterFn, name: str = "?"):
+        self.fn = fn
+        self.name = name
+
+    def reduce(self, payloads: Sequence[Any],
+               state: Any) -> tuple[Any, Any]:
+        return self.fn(payloads), state
+
+
+# -- stateless built-in filters ----------------------------------------------
 
 def _concat(payloads: Sequence[Any]) -> Any:
     """Waitforall concatenation: list of all child payloads (no reduction)."""
@@ -54,4 +172,194 @@ def _max(payloads: Sequence[Any]) -> Any:
 register_filter("concat", _concat)
 register_filter("sum", _sum)
 register_filter("max", _max)
-# "prefix_tree_merge" is registered by repro.tools.stat_tool.prefix_tree
+
+
+# -- stateful built-in filters ------------------------------------------------
+
+class RunningHistogramFilter(Filter):
+    """Pointwise-summed histograms with a running windowed total.
+
+    Wave payloads are ``{bin: count}`` dicts; the merge is a pointwise sum
+    over all children (associative, commutative). ``state["running"]`` is
+    the pointwise sum of the last ``window`` merged waves (all waves when
+    ``window=0``) -- at the root that is the windowed histogram of every
+    leaf sample in flight-order-independent form.
+    """
+
+    name = "histogram"
+
+    def __init__(self, window: int = 0):
+        self.window = max(0, int(window))
+
+    def initial_state(self) -> dict:
+        return {"waves": [], "running": {}}
+
+    @staticmethod
+    def merge(payloads: Sequence[dict]) -> dict:
+        out: dict = {}
+        for p in payloads:
+            for b, c in p.items():
+                out[b] = out.get(b, 0) + c
+        return dict(sorted(out.items(), key=lambda kv: str(kv[0])))
+
+    def reduce(self, payloads: Sequence[dict],
+               state: dict) -> tuple[dict, dict]:
+        merged = self.merge(payloads)
+        state["waves"].append(merged)
+        running = state["running"]
+        for b, c in merged.items():
+            running[b] = running.get(b, 0) + c
+        if self.window and len(state["waves"]) > self.window:
+            evicted = state["waves"].pop(0)
+            for b, c in evicted.items():
+                running[b] -= c
+                if not running[b]:
+                    del running[b]
+        return merged, state
+
+
+class TopKFilter(Filter):
+    """Exact distributed top-k over ``[value, key]`` items.
+
+    Items are deduplicated per key by **max** value, ranked by
+    ``(-value, str(key))`` and truncated to ``k``. Max-dedup keeps the
+    truncated merge exact: if an item belongs to the global top-k, fewer
+    than k items beat it in any subtree, so its best instance survives
+    every intermediate truncation (the associativity argument the property
+    tests pin down). ``state["running"]`` is the top-k over the last
+    ``window`` waves.
+    """
+
+    name = "top_k"
+
+    def __init__(self, k: int = 8, window: int = 0):
+        if k < 1:
+            raise ValueError(f"top_k needs k >= 1, got {k}")
+        self.k = int(k)
+        self.window = max(0, int(window))
+
+    def initial_state(self) -> dict:
+        return {"waves": [], "running": []}
+
+    def merge(self, payloads: Sequence[list]) -> list:
+        best: dict = {}
+        for p in payloads:
+            for value, key in p:
+                kk = key if isinstance(key, (str, int, float, bool)) \
+                    else repr(key)
+                if kk not in best or value > best[kk][0]:
+                    best[kk] = [value, key]
+        ranked = sorted(best.values(), key=lambda it: (-it[0], str(it[1])))
+        return [list(it) for it in ranked[:self.k]]
+
+    def reduce(self, payloads: Sequence[list],
+               state: dict) -> tuple[list, dict]:
+        merged = self.merge(payloads)
+        state["waves"].append(merged)
+        if self.window and len(state["waves"]) > self.window:
+            state["waves"].pop(0)
+        state["running"] = self.merge(state["waves"])
+        return merged, state
+
+
+class EwmaRateFilter(Filter):
+    """Per-wave aggregate sum with an EWMA rate estimate in state.
+
+    Wave payloads are numbers; the merge is their sum (associative,
+    commutative -- exactly so for ints, to float tolerance otherwise).
+    ``state["ewma"]`` tracks ``alpha * wave + (1-alpha) * ewma`` over this
+    position's subtree aggregates; ``state["last"]`` and ``state["waves"]``
+    expose the raw series tail for rate computations. ``window`` bounds the
+    retained raw series (the EWMA itself needs no window).
+    """
+
+    name = "ewma"
+
+    def __init__(self, alpha: float = 0.5, window: int = 0):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"ewma needs 0 < alpha <= 1, got {alpha}")
+        self.alpha = float(alpha)
+        self.window = max(0, int(window))
+
+    def initial_state(self) -> dict:
+        return {"waves": [], "ewma": None, "last": None, "n_waves": 0}
+
+    def reduce(self, payloads: Sequence[float],
+               state: dict) -> tuple[float, dict]:
+        total = sum(payloads)
+        prev = state["ewma"]
+        state["ewma"] = total if prev is None else (
+            self.alpha * total + (1.0 - self.alpha) * prev)
+        state["last"] = total
+        state["n_waves"] += 1
+        state["waves"].append(total)
+        if self.window and len(state["waves"]) > self.window:
+            state["waves"].pop(0)
+        return total, state
+
+
+def _merge_tree_nodes(nodes: Sequence[dict]) -> dict:
+    """Pointwise union of prefix-tree wire nodes (``{"r": [...], "c": {}}``)."""
+    ranks: set = set()
+    for n in nodes:
+        ranks.update(n["r"])
+    frames = sorted({f for n in nodes for f in n["c"]})
+    return {"r": sorted(ranks),
+            "c": {f: _merge_tree_nodes([n["c"][f] for n in nodes
+                                        if f in n["c"]])
+                  for f in frames}}
+
+
+def prefix_tree_merge(payloads: Sequence[dict]) -> dict:
+    """Merge prefix-tree payloads (``PrefixTree.to_dict`` wire form).
+
+    Promoted from ``repro.tools.stat_tool.prefix_tree``: the union is
+    computed directly on the JSON-able dicts, byte-identical to round-
+    tripping through :class:`~repro.tools.stat_tool.PrefixTree`, so the
+    TBON layer needs no tool import.
+    """
+    return {"tree": _merge_tree_nodes([p["tree"] for p in payloads]),
+            "n": sum(p.get("n", 0) for p in payloads)}
+
+
+class PrefixTreeMergeFilter(Filter):
+    """STAT's call-graph union as a stream filter with a windowed view.
+
+    The merge is a pointwise set union -- associative, commutative and
+    idempotent -- so any tree shape reduces losslessly.
+    ``state["running"]`` unions the last ``window`` merged waves.
+    """
+
+    name = "prefix_tree_merge"
+
+    def __init__(self, window: int = 0):
+        self.window = max(0, int(window))
+
+    def initial_state(self) -> dict:
+        return {"waves": [], "running": None}
+
+    def reduce(self, payloads: Sequence[dict],
+               state: dict) -> tuple[dict, dict]:
+        merged = prefix_tree_merge(payloads)
+        state["waves"].append(merged)
+        if self.window:
+            if len(state["waves"]) > self.window:
+                state["waves"].pop(0)
+            state["running"] = prefix_tree_merge(state["waves"])
+        else:
+            state["running"] = (merged if state["running"] is None
+                                else prefix_tree_merge(
+                                    [state["running"], merged]))
+        return merged, state
+
+
+register_stream_filter("histogram", RunningHistogramFilter)
+register_stream_filter("top_k", TopKFilter)
+register_stream_filter("ewma", EwmaRateFilter)
+register_stream_filter("prefix_tree_merge", PrefixTreeMergeFilter)
+
+# the legacy callable face of the stateful built-ins (single-wave merge)
+register_filter("histogram", RunningHistogramFilter.merge)
+register_filter("top_k", TopKFilter())
+register_filter("ewma", EwmaRateFilter())
+register_filter("prefix_tree_merge", prefix_tree_merge)

@@ -25,5 +25,18 @@ class Packet:
     payload: Any
     direction: str = "up"  # "up" | "down"
 
+    #: the only legal routing directions: reductions flow up, broadcasts down
+    DIRECTIONS = ("up", "down")
+
+    #: framing bytes per packet (stream id + wave + direction + length);
+    #: shared with the analytic model's hop-time term
+    HEADER_BYTES = 24
+
+    def __post_init__(self):
+        if self.direction not in self.DIRECTIONS:
+            raise ValueError(
+                f"packet direction must be one of {self.DIRECTIONS}, "
+                f"got {self.direction!r}")
+
     def wire_size(self) -> int:
-        return 24 + message_size(self.payload)
+        return self.HEADER_BYTES + message_size(self.payload)

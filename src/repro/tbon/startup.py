@@ -219,12 +219,16 @@ def launchmon_startup(fe_api, session, job: RMJob,
         report.staging_mode = rm_report.staging_mode
 
     # build placement: BE position i <-> i-th host in RPDTAB order; comm
-    # positions would come from MW daemons (launch_mw_daemons) -- the
+    # positions come from MW daemons (launch_mw_daemons) -- the
     # experiments use the paper's 1-deep topology (no comm daemons).
     placement: dict[int, Node] = {0: cluster.front_end}
     comm_positions = topo.comm_positions()
+    mw_runtimes: list = []
     if comm_positions:
-        mw_spec = DaemonSpec("mrnet_commnode", main=_idle_mw_daemon,
+        def comm_daemon(ctx):
+            yield from _comm_mw_daemon(ctx, mw_runtimes)
+
+        mw_spec = DaemonSpec("mrnet_commnode", main=comm_daemon,
                              image_mb=image_mb)
         yield from fe_api.launch_mw_daemons(
             session, mw_spec, n_nodes=len(comm_positions))
@@ -235,6 +239,15 @@ def launchmon_startup(fe_api, session, job: RMJob,
 
     overlay = _build_overlay(cluster, topo, placement, stream_filter)
     shared["overlay"] = overlay
+    # the session owns the overlay from here on: Session.open_stream()
+    # hands out persistent data-plane streams over it
+    session.overlay = overlay
+    # bind each comm daemon to its overlay position, enabling the MW
+    # stream face (stream_open / stream_subscribe taps / stream_state)
+    mw_runtimes.sort(key=lambda mw: mw.get_personality())
+    for pos, mw in zip(comm_positions, mw_runtimes):
+        mw.attach_overlay(overlay.endpoint(pos))
+    session.mw_runtimes = mw_runtimes
 
     # distribute placement over LMONP; daemons connect; master confirms
     t_conn0 = sim.now
@@ -255,10 +268,16 @@ def launchmon_startup(fe_api, session, job: RMJob,
     return overlay, report
 
 
-def _idle_mw_daemon(ctx):
-    """Comm-node daemon body: init, ready, serve (routing is overlay-level)."""
+def _comm_mw_daemon(ctx, registry: list):
+    """Comm-node daemon body: init, ready, serve (routing is overlay-level).
+
+    The runtime object is parked in ``registry`` so the startup path can
+    bind it to its overlay position once the overlay exists -- that is
+    what turns on the MW stream face (``session.mw_runtimes``).
+    """
     from repro.mw import Middleware
 
     mw = Middleware(ctx)
     yield from mw.init()
     yield from mw.ready()
+    registry.append(mw)

@@ -159,13 +159,8 @@ def merge_trees(trees: Iterable[PrefixTree]) -> PrefixTree:
     return out
 
 
-def _merge_filter(payloads):
-    """TBON filter: merge child payloads (tree dicts) into one tree dict."""
-    merged = merge_trees(PrefixTree.from_dict(p) for p in payloads)
-    return merged.to_dict()
-
-
-# register with the TBON filter registry on import
-from repro.tbon.filters import register_filter  # noqa: E402
-
-register_filter("prefix_tree_merge", _merge_filter)
+# The "prefix_tree_merge" TBON filter is now a first-class built-in of
+# repro.tbon.filters (promoted so the data plane needs no tool import);
+# the dict-level merge there is byte-identical to round-tripping through
+# PrefixTree. The historical name is kept as an alias for old callers.
+from repro.tbon.filters import prefix_tree_merge as _merge_filter  # noqa: E402,F401

@@ -12,6 +12,7 @@ from repro.experiments import (
     run_fig6,
     run_launch_matrix,
     run_resilience,
+    run_streaming,
     run_table1,
 )
 from repro.experiments.cli import main as cli_main
@@ -215,6 +216,55 @@ class TestResilience:
             assert repaired["up"] + repaired["n_failed"] == 16
 
 
+class TestStreaming:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_streaming(leaf_counts=(16, 64),
+                             filters=("histogram", "ewma"),
+                             windows=(4,), credit_limits=(2, 8),
+                             n_waves=10)
+
+    def _cell(self, result, leaves, filter_name, credit):
+        for row in result.rows:
+            if (row["leaves"] == leaves and row["filter"] == filter_name
+                    and row["credit"] == credit):
+                return row
+        raise KeyError((leaves, filter_name, credit))
+
+    def test_full_sweep_present(self, result):
+        assert len(result.rows) == 2 * 2 * 1 * 2
+
+    def test_every_cell_sustains_all_waves(self, result):
+        for row in result.rows:
+            assert row["delivered"] == 10
+
+    def test_credit_limit_bounds_depth_and_forces_stalls(self, result):
+        for row in result.rows:
+            assert row["max_depth"] <= row["credit"]
+            assert row["stalls"] > 0  # saturating publishers must stall
+
+    def test_more_credits_mean_more_throughput(self, result):
+        for leaves in (16, 64):
+            tight = self._cell(result, leaves, "histogram", 2)
+            loose = self._cell(result, leaves, "histogram", 8)
+            assert loose["thpt"] > tight["thpt"]
+
+    def test_model_tracks_sim_within_tolerance(self, result):
+        for row in result.rows:
+            assert row["err_pct"] <= 15.0, row
+
+    def test_monitor_anchor_cell(self):
+        from repro.experiments.streaming import measure_monitor
+
+        cell = measure_monitor(n_daemons=8, n_waves=4,
+                               filter_name="histogram", window=2)
+        assert cell["delivered"] == 4
+        assert cell["n_tasks"] == 32
+        # the windowed running histogram holds the last `window` waves,
+        # each merging every task of every daemon
+        assert sum(cell["final_state"]["running"].values()) == 2 * 32
+
+
 class TestCli:
     def test_cli_quick_run(self, capsys):
         assert cli_main(["table1", "--quick"]) == 0
@@ -233,6 +283,10 @@ class TestCli:
     def test_cli_resilience_quick(self, capsys):
         assert cli_main(["res", "--quick"]) == 0
         assert "Resilient launch" in capsys.readouterr().out
+
+    def test_cli_streaming_quick(self, capsys):
+        assert cli_main(["str", "--quick"]) == 0
+        assert "Streaming data plane" in capsys.readouterr().out
 
     def test_cli_rejects_unknown(self):
         with pytest.raises(SystemExit):

@@ -170,3 +170,64 @@ class TestImageStagingTerms:
             LaunchModel(staging="bcast")
         with pytest.raises(StagingError, match="unknown staging mode"):
             LaunchModel().image_stage_time(15.0, 8, staging="Broadcast")
+
+
+class TestStreamModel:
+    """The data-plane analytic terms against the simulated stream."""
+
+    def test_service_time_terms(self):
+        from repro.perfmodel import StreamModel
+        from repro.tbon import TBONTopology
+
+        m = StreamModel()
+        flat = TBONTopology.one_deep(64)
+        hop = m.hop_time()
+        # unbounded credits: the widest router's merge only
+        assert m.service_time(flat) == pytest.approx(m.merge_time(64))
+        # a credit limit adds the feeding serialization batches
+        limited = m.service_time(flat, credit_limit=8)
+        assert limited == pytest.approx(m.merge_time(64) + 7 * hop)
+        # an internal (non-root) bottleneck also pays its forward hop
+        deep = TBONTopology.balanced(64, fanout=16)
+        assert m.service_time(deep, credit_limit=16) == pytest.approx(
+            m.merge_time(16) + hop)
+
+    def test_throughput_monotone_in_credits(self):
+        from repro.perfmodel import StreamModel
+        from repro.tbon import TBONTopology
+
+        m = StreamModel()
+        topo = TBONTopology.one_deep(128)
+        assert (m.sustained_throughput(topo, credit_limit=2)
+                < m.sustained_throughput(topo, credit_limit=8)
+                < m.sustained_throughput(topo))
+
+    def test_interval_bound_caps_throughput(self):
+        from repro.perfmodel import StreamModel
+        from repro.tbon import TBONTopology
+
+        m = StreamModel()
+        topo = TBONTopology.one_deep(16)
+        fast = m.sustained_throughput(topo, credit_limit=4)
+        assert m.wave_interval_throughput(topo, 1.0, 4) == 1.0
+        assert m.wave_interval_throughput(topo, 0.0, 4) == fast
+
+    def test_sustained_throughput_tracks_simulation(self):
+        from repro.experiments.streaming import measure_stream
+
+        for credit in (2, 8):
+            cell = measure_stream(64, filter_name="histogram",
+                                  credit_limit=credit, n_waves=15,
+                                  fanout=16)
+            assert cell["model_err"] <= 0.15, cell["model_err"]
+
+    def test_wave_latency_tracks_simulation(self):
+        from repro.experiments.streaming import measure_stream
+        from repro.perfmodel import StreamModel
+
+        # a paced stream measures unloaded per-wave latency
+        cell = measure_stream(32, filter_name="ewma", credit_limit=8,
+                              n_waves=8, fanout=0,
+                              publish_interval=0.05)
+        assert cell["mean_latency"] == pytest.approx(
+            cell["latency_model"], rel=0.25)

@@ -1,0 +1,118 @@
+"""The data plane over a DEGRADED session: survivors keep streaming."""
+
+import pytest
+
+from repro.apps import make_compute_app
+from repro.be import BackEnd
+from repro.cluster import ClusterSpec, FaultPlan, NodeCrash
+from repro.fe import SessionState, ToolFrontEnd
+from repro.launch import LaunchPolicy
+from repro.rm.base import DaemonSpec
+from repro.runner import drive, make_env
+from repro.tbon import Overlay, TBONTopology
+from repro.tbon.overlay import StreamSpec
+
+POLICY = LaunchPolicy(per_daemon_timeout=10.0, max_retries=1,
+                      retry_backoff=0.01, min_daemon_fraction=0.5,
+                      handshake_timeout=30.0)
+
+
+def _daemon(ctx):
+    be = BackEnd(ctx)
+    yield from be.init()
+    yield from be.ready()
+    yield from be.finalize()
+
+
+class TestStreamOverDegradedSession:
+    def test_degraded_session_stream_keeps_delivering(self):
+        """Node 5 dies during the spawn; the session comes up DEGRADED;
+        a stream opened over the surviving daemon set delivers every
+        wave, merged over exactly the survivors."""
+        n = 8
+        plan = FaultPlan(node_crashes=(NodeCrash(node=5, at=0.005),),
+                         auto_arm=False)
+        env = make_env(n_compute=n,
+                       spec=ClusterSpec(n_compute=n, fault_plan=plan,
+                                        seed=3),
+                       policy=POLICY)
+        app = make_compute_app(n_tasks=2 * n, tasks_per_node=2)
+        spec = DaemonSpec("toold", main=_daemon, image_mb=2.0)
+        n_waves = 5
+        box = {}
+
+        def scenario(env):
+            fe = ToolFrontEnd(env.cluster, env.rm, "t")
+            yield from fe.init()
+            job = yield from env.rm.launch_job(app, env.rm.allocate(n))
+            env.cluster.faults.arm()
+            session = fe.create_session()
+            yield from fe.attach_and_spawn(session, job, spec)
+            box["state"] = session.state
+
+            # the tool now wires its data plane over the SURVIVORS
+            survivors = [d.node for d in session.daemons]
+            topo = TBONTopology.one_deep(len(survivors))
+            placement = {0: env.cluster.front_end}
+            for pos, node in zip(topo.backends(), survivors):
+                placement[pos] = node
+            overlay = Overlay(env.sim, env.cluster.network, topo,
+                              placement, streams={})
+            overlay.start_routers()
+            session.overlay = overlay
+
+            # open_stream is legal from DEGRADED (survivors publish)
+            stream = session.open_stream(filter_name="histogram",
+                                         credit_limit=2, window=0)
+
+            def publisher(pos, node):
+                for w in range(n_waves):
+                    yield from stream.publish(pos, w, {"up": 1})
+                    yield env.sim.timeout(0.01)
+
+            for pos in topo.backends():
+                proc = env.sim.process(publisher(pos, placement[pos]))
+                placement[pos].register_body(proc)
+
+            delivered = []
+            for _ in range(n_waves):
+                pkt = yield from stream.next_wave()
+                delivered.append((pkt.wave, pkt.payload))
+            box["delivered"] = delivered
+            box["running"] = stream.state_at(0)["running"]
+            box["report"] = stream.report
+            yield from fe.detach(session)
+
+        drive(env, scenario(env))
+        assert box["state"] is SessionState.DEGRADED
+        survivors = n - 1
+        # every wave delivered, each merging exactly the survivor set
+        assert [w for w, _ in box["delivered"]] == list(range(n_waves))
+        assert all(p == {"up": survivors}
+                   for _, p in box["delivered"])
+        assert box["running"] == {"up": survivors * n_waves}
+        assert box["report"].n_delivered == n_waves
+        assert box["report"].max_inbox_depth() <= 2
+
+    def test_open_stream_requires_usable_state_and_overlay(self):
+        env = make_env(n_compute=4)
+        app = make_compute_app(n_tasks=8, tasks_per_node=2)
+        spec = DaemonSpec("toold", main=_daemon, image_mb=2.0)
+        box = {}
+
+        def scenario(env):
+            fe = ToolFrontEnd(env.cluster, env.rm, "t")
+            yield from fe.init()
+            session = fe.create_session()
+            # CREATED is not a streamable state
+            with pytest.raises(RuntimeError, match="state"):
+                session.open_stream()
+            yield from fe.launch_and_spawn(session, app, spec)
+            # READY but no overlay attached yet
+            with pytest.raises(RuntimeError, match="no TBON overlay"):
+                session.open_stream()
+            yield from fe.detach(session, reclaim_job=True)
+            box["done"] = True
+
+        drive(env, scenario(env))
+        assert box["done"]

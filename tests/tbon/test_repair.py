@@ -1,4 +1,5 @@
-"""TBON self-repair: reparenting correctness, cost, and wave integrity."""
+"""TBON self-repair: reparenting correctness, cost, and wave integrity
+(one-shot waves are dropped; persistent-stream waves are re-credited)."""
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -133,6 +134,254 @@ class TestRepair:
         assert cell["wave_merged"] == 32
         assert cell["n_reparented"] > 0
         assert cell["report"]["t_repair"] == pytest.approx(cell["t_repair"])
+
+
+class TestStreamRepair:
+    """Waves in flight across repair(): neither lost nor duplicated."""
+
+    def _stream_scenario(self, sim, overlay, placement, victims,
+                         n_waves, crash_at, n_be, stagger=0.002):
+        stream = overlay.open_stream(StreamSpec(9, "concat",
+                                                credit_limit=2))
+        topo = overlay.topology
+
+        def leaf(i, pos):
+            yield sim.timeout(stagger * i)
+            for w in range(n_waves):
+                yield from stream.publish(pos, w, [[pos, w]])
+                yield sim.timeout(0.004)
+
+        delivered = []
+
+        def subscriber():
+            while len(delivered) < n_waves:
+                pkt = yield from stream.next_wave()
+                delivered.append(pkt)
+
+        def chaos():
+            yield sim.timeout(crash_at)
+            for pos in victims:
+                placement[pos].fail("stream-repair test")
+            yield from overlay.repair()
+
+        for i, pos in enumerate(topo.backends()):
+            proc = sim.process(leaf(i, pos), name=f"leaf:{pos}")
+            # publishers live on their leaf's node (as daemon bodies do):
+            # a node crash kills its publisher with it
+            placement[pos].register_body(proc)
+        sub = sim.process(subscriber(), name="subscriber")
+        sim.process(chaos(), name="chaos")
+        sim.run(until=600)
+        assert sub.triggered
+        return stream, delivered
+
+    def test_inflight_waves_survive_comm_death(self, sim):
+        """A comm node dies mid-wave: every wave is still delivered
+        exactly once, each carrying exactly one contribution per
+        surviving leaf."""
+        topo = TBONTopology.balanced(8, fanout=2)
+        _cluster, placement, overlay = _overlay(sim, topo)
+        victim = topo.comm_positions()[0]
+        stream, delivered = self._stream_scenario(
+            sim, overlay, placement, [victim], n_waves=6,
+            crash_at=0.003, n_be=8)
+        # no wave lost, none duplicated
+        assert sorted(p.wave for p in delivered) == list(range(6))
+        # every delivered wave carries every live leaf exactly once
+        for pkt in delivered:
+            senders = [pos for pos, _w in pkt.payload]
+            assert sorted(senders) == overlay.live_backends()
+        # the repair actually re-injected in-flight payloads
+        assert stream.report.n_repairs == 1
+        assert stream.report.n_republished > 0
+        assert overlay.repairs[-1].n_streams_repaired == 1
+        assert (overlay.repairs[-1].n_waves_republished
+                == stream.report.n_republished)
+
+    def test_inflight_waves_survive_leaf_death(self, sim):
+        """A leaf dies mid-stream: its pending contributions are dropped
+        with it, and subsequent waves assemble from the survivors."""
+        topo = TBONTopology.balanced(6, fanout=3)
+        _cluster, placement, overlay = _overlay(sim, topo)
+        victim = topo.backends()[2]
+        stream, delivered = self._stream_scenario(
+            sim, overlay, placement, [victim], n_waves=5,
+            crash_at=0.005, n_be=6)
+        assert sorted(p.wave for p in delivered) == list(range(5))
+        survivors = overlay.live_backends()
+        assert victim not in survivors
+        # late waves merge the survivor set only -- and no leaf twice
+        late = delivered[-1]
+        senders = [pos for pos, _w in late.payload]
+        assert sorted(senders) == survivors
+        assert len(senders) == len(set(senders))
+
+    def test_repair_does_not_leak_delivery_credits(self, sim):
+        """Regression: a repair that interrupts the root router while it
+        waits for a delivery credit (slow subscriber, credit_limit=1)
+        must not leak the credit -- the stranded getter dies with the
+        rebuilt gate and the stream keeps delivering every wave."""
+        topo = TBONTopology.balanced(8, fanout=2)
+        _cluster, placement, overlay = _overlay(sim, topo)
+        stream = overlay.open_stream(StreamSpec(9, "sum", credit_limit=1))
+        victim = topo.comm_positions()[0]
+        n_waves = 6
+
+        def leaf(pos):
+            for w in range(n_waves):
+                yield from stream.publish(pos, w, 1)
+
+        delivered = []
+
+        def slow_subscriber():
+            while len(delivered) < n_waves:
+                pkt = yield from stream.next_wave()
+                delivered.append(pkt.wave)
+                yield sim.timeout(0.05)  # delivery queue saturates
+
+        def chaos():
+            yield sim.timeout(0.03)  # root router blocked on the gate
+            placement[victim].fail("test")
+            yield from overlay.repair()
+
+        for pos in topo.backends():
+            proc = sim.process(leaf(pos))
+            placement[pos].register_body(proc)
+        sub = sim.process(slow_subscriber())
+        sim.process(chaos())
+        sim.run(until=600)
+        assert sub.triggered
+        assert sorted(delivered) == list(range(n_waves))
+
+    def test_double_repair_does_not_duplicate_republished_waves(self, sim):
+        """Regression: a second repair landing while the first repair's
+        re-publishers are still draining must supersede them (epoch
+        pinning + plane tracking), not race them into duplicate
+        contributions."""
+        topo = TBONTopology.balanced(16, fanout=4)
+        _cluster, placement, overlay = _overlay(sim, topo)
+        stream = overlay.open_stream(StreamSpec(9, "concat",
+                                                credit_limit=1))
+        victims = topo.comm_positions()[:2]
+        n_waves = 8
+
+        def leaf(i, pos):
+            yield sim.timeout(0.001 * i)
+            for w in range(n_waves):
+                yield from stream.publish(pos, w, [[pos, w]])
+                yield sim.timeout(0.003)
+
+        delivered = []
+
+        def subscriber():
+            # slow consumer, so leaves carry multi-wave unbanked
+            # backlogs into the first repair and its re-publishers are
+            # still draining (stalled on credits) at the second
+            while len(delivered) < n_waves:
+                pkt = yield from stream.next_wave()
+                delivered.append(pkt)
+                yield sim.timeout(0.03)
+
+        def chaos():
+            yield sim.timeout(0.03)
+            placement[victims[0]].fail("first")
+            yield from overlay.repair()
+            yield sim.timeout(0.002)  # first repair still re-publishing
+            placement[victims[1]].fail("second")
+            yield from overlay.repair()
+
+        for i, pos in enumerate(topo.backends()):
+            proc = sim.process(leaf(i, pos))
+            placement[pos].register_body(proc)
+        sub = sim.process(subscriber())
+        sim.process(chaos())
+        sim.run(until=600)
+        assert sub.triggered
+        assert sorted(p.wave for p in delivered) == list(range(n_waves))
+        for pkt in delivered:
+            senders = [pos for pos, _w in pkt.payload]
+            assert len(senders) == len(set(senders)), pkt  # no duplicates
+        assert stream.report.n_repairs == 2
+
+    def test_republished_waves_do_not_double_count_filter_state(self, sim):
+        """Regression: a wave a position already folded into its windowed
+        state, re-delivered by a repair, must merge upward again but
+        must NOT be folded into the aggregates a second time."""
+        topo = TBONTopology.balanced(8, fanout=2)
+        _cluster, placement, overlay = _overlay(sim, topo)
+        stream = overlay.open_stream(StreamSpec(
+            9, "histogram", credit_limit=1, window=0))
+        victim = topo.comm_positions()[0]
+        n_waves = 3
+
+        def leaf(i, pos):
+            yield sim.timeout(0.0015 * i)
+            for w in range(n_waves):
+                yield from stream.publish(pos, w, {"R": 1})
+                yield sim.timeout(0.004)
+
+        def subscriber():
+            # slow consumer: comm positions fold waves that sit unbanked
+            # behind the saturated delivery gate when the crash lands
+            for _ in range(n_waves):
+                yield from stream.next_wave()
+                yield sim.timeout(0.02)
+
+        def chaos():
+            yield sim.timeout(0.02)  # folded-but-unbanked waves exist
+            placement[victim].fail("test")
+            yield from overlay.repair()
+
+        for i, pos in enumerate(topo.backends()):
+            proc = sim.process(leaf(i, pos))
+            placement[pos].register_body(proc)
+        sub = sim.process(subscriber())
+        sim.process(chaos())
+        sim.run(until=600)
+        assert sub.triggered
+        assert stream.report.n_republished > 0  # the repair re-delivered
+        # 8 leaves x 3 waves, exactly once each -- at the root AND at
+        # every surviving comm position (its own subtree's count)
+        assert stream.state_at(0)["running"] == {"R": 8 * n_waves}
+        for pos in topo.comm_positions():
+            if pos in overlay.dead_positions():
+                continue
+            subtree = len(overlay.children_of(pos))
+            assert stream.state_at(pos)["running"] \
+                == {"R": subtree * n_waves}
+
+    def test_filter_window_state_survives_repair(self, sim):
+        """The root's running windowed aggregate keeps accumulating
+        across a repair -- stateful filters ride through."""
+        topo = TBONTopology.balanced(8, fanout=2)
+        _cluster, placement, overlay = _overlay(sim, topo)
+        stream = overlay.open_stream(StreamSpec(
+            9, "histogram", credit_limit=2, window=0))
+        victim = topo.comm_positions()[0]
+        n_waves = 4
+
+        def leaf(pos):
+            for w in range(n_waves):
+                yield from stream.publish(pos, w, {"R": 1})
+                yield sim.timeout(0.004)
+
+        def subscriber():
+            for _ in range(n_waves):
+                yield from stream.next_wave()
+
+        def chaos():
+            yield sim.timeout(0.003)
+            placement[victim].fail("test")
+            yield from overlay.repair()
+
+        for pos in topo.backends():
+            sim.process(leaf(pos))
+        sub = sim.process(subscriber())
+        sim.process(chaos())
+        sim.run(until=600)
+        assert sub.triggered
+        # all 8 leaves x 4 waves landed in the root's running histogram
+        assert stream.state_at(0)["running"] == {"R": 32}
 
 
 class TestRepairProperty:

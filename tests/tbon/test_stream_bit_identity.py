@@ -1,0 +1,33 @@
+"""Bit-identity guard: with no streams opened, nothing moved.
+
+The streaming data plane reuses the overlay, the filter registry, and the
+network RNG stream -- all places where an accidental extra event or RNG
+draw would silently shift every downstream timing. This guard pins the
+contract the same way the fault-injection PR pinned its empty-FaultPlan
+case: the ``fig6`` and ``lmx`` quick sweeps must match the PR 3 baseline
+**byte for byte** (``tests/baselines/pr3_fig6_lmx_quick.txt``, captured
+from the pre-streaming tree by running
+``python -m repro.experiments fig6 lmx --quick``).
+
+If this test fails after an intentional cost-model or mechanism change,
+regenerate the baseline with that command and say so in the PR; if it
+fails after a data-plane change, the data plane leaked into the
+stream-less path -- fix the leak, not the baseline.
+"""
+
+from pathlib import Path
+
+from repro.experiments.cli import QUICK_SWEEPS
+from repro.experiments import run_fig6, run_launch_matrix
+
+BASELINE = Path(__file__).parent.parent / "baselines" \
+    / "pr3_fig6_lmx_quick.txt"
+
+
+def test_fig6_and_lmx_quick_match_pr3_baseline_byte_for_byte():
+    fig6 = run_fig6(**QUICK_SWEEPS["fig6"])
+    lmx = run_launch_matrix(**QUICK_SWEEPS["lmx"])
+    # exactly what `python -m repro.experiments fig6 lmx --quick` prints
+    rendered = (fig6.format_table() + "\n\n"
+                + lmx.format_table() + "\n\n")
+    assert rendered == BASELINE.read_text()
