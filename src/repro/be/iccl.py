@@ -24,7 +24,7 @@ from typing import Any, Generator, Optional, Sequence
 
 from repro.simx import SeededRNG, Simulator, Store
 from repro.cluster.costs import CostModel
-from repro.cluster.network import Network, PipeEnd
+from repro.cluster.network import Network, PipeEnd, Sized
 from repro.cluster.node import Node
 
 __all__ = ["ICCLEndpoint", "ICCLError", "ICCLFabric", "TreeTopology"]
@@ -58,12 +58,12 @@ class TreeTopology:
 
     def subtree(self, rank: int) -> list[int]:
         """Ranks in the subtree rooted at ``rank`` (preorder)."""
-        out = [rank]
-        stack = list(self.children[rank])
+        out: list[int] = []
+        stack = [rank]
         while stack:
-            r = stack.pop(0)
+            r = stack.pop()
             out.append(r)
-            stack = list(self.children[r]) + stack
+            stack.extend(reversed(self.children[r]))
         return out
 
     # -- constructors ------------------------------------------------------
@@ -242,14 +242,22 @@ class ICCLEndpoint:
         return result
 
     def broadcast(self, obj: Any = None) -> Generator[Any, Any, Any]:
-        """Broadcast from the master (rank 0); returns the object everywhere."""
+        """Broadcast from the master (rank 0); returns the object everywhere.
+
+        The payload travels inside a :class:`~repro.cluster.network.Sized`
+        envelope so its byte size is walked once at the root instead of
+        once per recipient (same wire size, same timings).
+        """
         self._require_wired()
         fab = self.fabric
         start = fab.sim.now
         if self._parent_end is not None:
-            obj = yield self._parent_end.recv()
+            wrapped = yield self._parent_end.recv()
+            obj = wrapped.payload
+        else:
+            wrapped = Sized(obj)
         for child in self._ordered_children():
-            yield self._child_ends[child].send(obj)
+            yield self._child_ends[child].send(wrapped)
         self.collective_time += fab.sim.now - start
         return obj
 

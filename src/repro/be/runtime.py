@@ -29,6 +29,26 @@ from repro.mpir import RPDTAB, ProcDesc
 __all__ = ["BackEnd"]
 
 
+#: last (raw bytes -> decoded) usr-data pair; every daemon of one set
+#: receives the *same* bytes object from the scatter, so one decode serves
+#: the whole set (per-daemon decodes were an O(n^2) wall-clock term at
+#: launch scale). Decoding costs no virtual time; daemons treat the init
+#: usr data as read-only, so sharing the decoded object is safe.
+_usr_decode_memo: Optional[tuple[bytes, Any]] = None
+
+
+def _decode_usr_payload(raw: Optional[bytes]) -> Any:
+    global _usr_decode_memo
+    if not raw:
+        return None
+    memo = _usr_decode_memo
+    if memo is not None and memo[0] is raw:
+        return memo[1]
+    decoded = json.loads(raw.decode())
+    _usr_decode_memo = (raw, decoded)
+    return decoded
+
+
 class BackEnd:
     """Per-daemon API object wrapping a :class:`BEContext`."""
 
@@ -84,9 +104,7 @@ class BackEnd:
             # receive the RPDTAB (+ piggybacked tool data)
             msg = yield from self._stream.expect(FeToBe.PROCTAB)
             rpdtab = RPDTAB.from_bytes(msg.lmon_payload)
-            ctx.usr_data_init = (
-                json.loads(msg.usr_payload.decode())
-                if msg.usr_payload else None)
+            ctx.usr_data_init = _decode_usr_payload(msg.usr_payload)
             # scatter each daemon its local slice (+ usr data rides along)
             t2 = sim.now
             hosts = [h for h, _pid in table]
@@ -100,8 +118,7 @@ class BackEnd:
                 t_collective_so_far + (sim.now - t2))
         else:
             mine, usr_raw = yield from self.ep.scatter()
-            ctx.usr_data_init = (
-                json.loads(usr_raw.decode()) if usr_raw else None)
+            ctx.usr_data_init = _decode_usr_payload(usr_raw)
             self.timings["t_collective"] = sim.now - t1
 
         ctx.local_entries = [ProcDesc(**dict(item)) for item in mine]

@@ -282,6 +282,9 @@ class Cluster:
             for i in range(self.spec.n_compute)
         ]
         self._by_name = {n.name: n for n in [self.front_end, *self.compute]}
+        #: callbacks invoked as fn(node) when any node fails -- resource
+        #: managers subscribe to keep their free-node indexes exact
+        self._failure_listeners: list = []
         #: fault injector (None without a plan -- or with an empty one:
         #: zero hooks fire, runs stay bit-identical to a fault-free build)
         self.faults: Optional[FaultInjector] = None
@@ -290,6 +293,17 @@ class Cluster:
             self.fs.faults = self.faults
             if self.spec.fault_plan.auto_arm:
                 self.faults.arm()
+
+    # -- failure notification ------------------------------------------------
+    def add_failure_listener(self, fn) -> None:
+        """Subscribe ``fn(node)`` to node-failure events (fired once per
+        node, from :meth:`Node.fail`)."""
+        self._failure_listeners.append(fn)
+
+    def notify_node_failed(self, node: Node) -> None:
+        """Called by :meth:`Node.fail`; fans out to the listeners."""
+        for fn in self._failure_listeners:
+            fn(node)
 
     # -- lookup -----------------------------------------------------------
     def node(self, name: str) -> Node:

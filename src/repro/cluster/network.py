@@ -16,7 +16,7 @@ from repro.cluster.costs import CostModel
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
 
-__all__ = ["Network", "Pipe", "message_size"]
+__all__ = ["Network", "Pipe", "Sized", "message_size"]
 
 
 def message_size(message: Any) -> int:
@@ -30,6 +30,27 @@ def message_size(message: Any) -> int:
     if hasattr(message, "wire_size"):
         return int(message.wire_size())
     return 64  # opaque control object
+
+
+class Sized:
+    """A message envelope whose byte size is computed once, at wrap time.
+
+    Broadcast-style fan-outs send one payload object to every peer;
+    without the envelope each hop re-walks the payload (``message_size``
+    is recursive), which turns an O(n)-recipient broadcast of an
+    O(n)-sized payload into O(n^2) wall-clock work. The envelope reports
+    exactly ``message_size(payload)``, so simulated timings are
+    unchanged; receivers unwrap ``.payload``.
+    """
+
+    __slots__ = ("payload", "_size")
+
+    def __init__(self, payload: Any):
+        self.payload = payload
+        self._size = message_size(payload)
+
+    def wire_size(self) -> int:
+        return self._size
 
 
 class PipeEnd:
@@ -83,10 +104,18 @@ class Network:
         self.messages = 0
 
     # -- timing ------------------------------------------------------------
-    def transfer_time(self, message: Any) -> float:
-        """Delivery delay for one message (jittered)."""
+    def transfer_time(self, message: Any, size: Optional[int] = None) -> float:
+        """Delivery delay for one message (jittered).
+
+        ``size`` lets a fan-out that sends one object to many peers walk
+        the payload once and reuse the byte count per recipient (it must
+        equal ``message_size(message)``); the jitter draw and the message
+        counter still run per call, so timing behaviour is unchanged.
+        """
         self.messages += 1
-        base = self.costs.transfer_time(message_size(message))
+        if size is None:
+            size = message_size(message)
+        base = self.costs.transfer_time(size)
         return self.rng.jitter(base, 0.03)
 
     # -- connections -----------------------------------------------------------

@@ -103,6 +103,9 @@ class Node:
         #: simulation processes (daemon bodies, routers) hosted here, to be
         #: interrupted when the node fails -- see register_body()
         self._resident_bodies: list = []
+        #: prune the resident list when it reaches this length (amortized
+        #: O(1) per registration; a per-call aliveness scan was O(n))
+        self._prune_at = 8
 
     # -- inspection -----------------------------------------------------------
     def user_proc_count(self, uid: str = "user") -> int:
@@ -118,12 +121,15 @@ class Node:
         """Register a simulation process (a daemon body, a TBON router)
         as *resident* on this node, so :meth:`fail` can interrupt it --
         code does not keep running on dead hardware. Finished residents
-        are pruned here, bounding the list on long-lived nodes that host
-        many generations of daemons."""
-        if any(not body.is_alive for body in self._resident_bodies):
-            self._resident_bodies = [body for body in self._resident_bodies
-                                     if body.is_alive]
-        self._resident_bodies.append(sim_proc)
+        are pruned when the list doubles past its last post-prune size
+        (amortized O(1) per registration), bounding the list on
+        long-lived nodes that host many generations of daemons."""
+        bodies = self._resident_bodies
+        if len(bodies) >= self._prune_at:
+            bodies = [body for body in bodies if body.is_alive]
+            self._resident_bodies = bodies
+            self._prune_at = max(8, 2 * len(bodies) + 1)
+        bodies.append(sim_proc)
 
     def fail(self, reason: str = "node failure") -> tuple[int, int]:
         """Take the node down: kill every process (SIGKILL, freeing their
@@ -149,6 +155,8 @@ class Node:
                 body.interrupt(f"{self.name}: {reason}")
                 interrupted += 1
         self._resident_bodies.clear()
+        if self.cluster is not None:
+            self.cluster.notify_node_failed(self)
         return killed, interrupted
 
     # -- fork/exec ---------------------------------------------------------------

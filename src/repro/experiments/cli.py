@@ -1,4 +1,20 @@
-"""Command-line entry point: ``repro-experiments <experiment> [--quick]``."""
+"""Command-line entry point: ``repro-experiments <experiment> [options]``.
+
+Scale tiers select how far each sweep pushes the simulated machine:
+
+* ``--scale quick`` (alias ``--quick``) -- reduced grids for CI/smoke;
+* ``--scale full`` -- the paper-fidelity grids (default);
+* ``--scale xl`` -- the 16k/64k-daemon tier: the machine sizes the paper
+  could only extrapolate to (BlueGene/L-class partitions), runnable since
+  the kernel fast path landed. Task counts per daemon are reduced where
+  noted so the xl tier stresses *daemon-launch* scalability rather than
+  the application-side process count.
+
+``--jobs N`` fans independent grid points out over N worker processes
+(every cell builds its own simulator, so sweeps are embarrassingly
+parallel); results merge in deterministic grid order, making the output
+byte-identical to a serial run.
+"""
 
 from __future__ import annotations
 
@@ -40,6 +56,30 @@ QUICK_SWEEPS = {
                 windows=(4,), credit_limits=(2, 8), n_waves=10),
 }
 
+#: the 16k/64k-daemon tier (see module docstring). Per-daemon task counts
+#: are dialed down where the default (8 tasks/daemon) would make the
+#: *application* the bottleneck rather than the daemon launch under study.
+XL_SWEEPS = {
+    "fig3": dict(daemon_counts=(4096, 16384, 65536), tasks_per_daemon=1),
+    "fig5": dict(daemon_counts=(4096, 16384, 65536), tasks_per_daemon=2),
+    "fig6": dict(node_counts=(1024, 4096, 16384, 65536),
+                 tasks_per_daemon=1),
+    "table1": dict(node_counts=(4096, 16384, 65536), tasks_per_node=1),
+    "A1": dict(daemon_counts=(1024, 4096)),
+    "A2": dict(daemon_counts=(1024, 4096)),
+    "A3": dict(daemon_counts=(1024, 4096)),
+    "A4": dict(daemon_counts=(1024,)),
+    "mt": dict(tenant_counts=(64, 128, 256), n_compute=8192,
+               nodes_per_session=16, tasks_per_node=2, max_in_flight=64),
+    "lmx": dict(daemon_counts=(16384, 65536)),
+    "res": dict(daemon_counts=(16384,), fault_rates=(0.0, 0.02),
+                strategies=("tree-rsh", "rm-bulk")),
+    "str": dict(leaf_counts=(16384, 65536), filters=("histogram", "ewma"),
+                windows=(8,), credit_limits=(4,), n_waves=10),
+}
+
+SCALE_SWEEPS = {"quick": QUICK_SWEEPS, "full": {}, "xl": XL_SWEEPS}
+
 RUNNERS = {
     "fig3": run_fig3,
     "fig5": run_fig5,
@@ -65,13 +105,28 @@ def main(argv: list[str] | None = None) -> int:
                         choices=sorted(RUNNERS) + ["all"],
                         help="which experiment(s) to run")
     parser.add_argument("--quick", action="store_true",
-                        help="reduced sweeps (for CI / smoke runs)")
+                        help="alias for --scale quick (CI / smoke runs)")
+    parser.add_argument("--scale", choices=sorted(SCALE_SWEEPS),
+                        default=None,
+                        help="sweep tier: quick (reduced), full "
+                             "(paper-fidelity, default), xl (16k/64k "
+                             "daemons)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run independent grid points across N worker "
+                             "processes (-1 = one per CPU); the merged "
+                             "output is byte-identical to a serial run")
     args = parser.parse_args(argv)
 
+    if args.quick and args.scale not in (None, "quick"):
+        parser.error("--quick conflicts with --scale " + args.scale)
+    scale = args.scale or ("quick" if args.quick else "full")
+
     names = sorted(RUNNERS) if "all" in args.experiment else args.experiment
+    sweeps = SCALE_SWEEPS[scale]
     for name in names:
         runner = RUNNERS[name]
-        kwargs = QUICK_SWEEPS.get(name, {}) if args.quick else {}
+        kwargs = dict(sweeps.get(name, {}))
+        kwargs["jobs"] = args.jobs
         result = runner(**kwargs)
         print(result.format_table())
         print()

@@ -18,6 +18,7 @@ from repro.perfmodel import LaunchModel, ModelInputs
 from repro.rm import DaemonSpec, SlurmConfig, SlurmRM
 from repro.runner import drive, make_env
 from repro.experiments.common import ExperimentResult
+from repro.experiments.sweep import map_grid
 
 __all__ = ["run_fig3", "measure_launch_and_spawn"]
 
@@ -61,8 +62,31 @@ def measure_launch_and_spawn(n_daemons: int,
     return box["times"], box["timeline"], env
 
 
+def _fig3_point(n: int, tasks_per_daemon: int) -> dict:
+    """One grid point: measured + modeled launchAndSpawn at ``n`` daemons."""
+    model = LaunchModel(slurm=SlurmConfig())
+    times, _tl, _env = measure_launch_and_spawn(n, tasks_per_daemon)
+    predicted = model.predict(ModelInputs(
+        n_daemons=n, tasks_per_daemon=tasks_per_daemon,
+        daemon_image_mb=DAEMON_IMAGE_MB, app_image_mb=4.0))
+    return {
+        "daemons": n,
+        "measured_total": times.total,
+        "model_total": predicted.total,
+        "T(job)": times.t_job,
+        "T(daemon)+T(setup)": times.t_daemon + times.t_setup,
+        "T(collective)": times.t_collective,
+        "tracing": times.t_trace,
+        "rpdtab(B)": times.t_rpdtab,
+        "handshake(C)": times.t_handshake,
+        "other": times.t_other,
+        "lmon_frac": times.launchmon_fraction(),
+    }
+
+
 def run_fig3(daemon_counts: Sequence[int] = (16, 32, 48, 64, 80, 96, 112, 128),
-             tasks_per_daemon: int = TASKS_PER_DAEMON) -> ExperimentResult:
+             tasks_per_daemon: int = TASKS_PER_DAEMON,
+             jobs: int = 1) -> ExperimentResult:
     """Regenerate Figure 3's modeled and measured series."""
     result = ExperimentResult(
         exp_id="fig3",
@@ -79,26 +103,9 @@ def run_fig3(daemon_counts: Sequence[int] = (16, 32, 48, 64, 80, 96, 112, 128),
             "other_scale_independent": "12 ms",
         },
     )
-    model = LaunchModel(slurm=SlurmConfig())
-    for n in daemon_counts:
-        times, _tl, _env = measure_launch_and_spawn(n, tasks_per_daemon)
-        predicted = model.predict(ModelInputs(
-            n_daemons=n, tasks_per_daemon=tasks_per_daemon,
-            daemon_image_mb=DAEMON_IMAGE_MB, app_image_mb=4.0))
-        result.add_row(
-            daemons=n,
-            measured_total=times.total,
-            model_total=predicted.total,
-            **{
-                "T(job)": times.t_job,
-                "T(daemon)+T(setup)": times.t_daemon + times.t_setup,
-                "T(collective)": times.t_collective,
-                "tracing": times.t_trace,
-                "rpdtab(B)": times.t_rpdtab,
-                "handshake(C)": times.t_handshake,
-                "other": times.t_other,
-                "lmon_frac": times.launchmon_fraction(),
-            })
+    grid = [dict(n=n, tasks_per_daemon=tasks_per_daemon)
+            for n in daemon_counts]
+    result.rows = map_grid(_fig3_point, grid, jobs=jobs)
     last = result.rows[-1]
     result.notes.append(
         f"at {last['daemons']} daemons: measured {last['measured_total']:.3f}s "

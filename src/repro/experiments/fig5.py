@@ -15,6 +15,7 @@ from repro.apps import make_compute_app
 from repro.runner import drive, make_env
 from repro.tools.jobsnap import run_jobsnap
 from repro.experiments.common import ExperimentResult
+from repro.experiments.sweep import map_grid
 
 __all__ = ["run_fig5", "measure_jobsnap"]
 
@@ -38,8 +39,22 @@ def measure_jobsnap(n_daemons: int, tasks_per_daemon: int = TASKS_PER_DAEMON,
     return box["result"]
 
 
+def _fig5_point(n: int, tasks_per_daemon: int) -> dict:
+    """One grid point: a full Jobsnap run at ``n`` daemons."""
+    r = measure_jobsnap(n, tasks_per_daemon)
+    return {
+        "daemons": n,
+        "tasks": r.n_tasks,
+        "jobsnap_total": r.t_total,
+        "init_to_attachAndSpawn": r.t_launchmon,
+        "collection_share": r.t_total - r.t_launchmon,
+        "lines": len(r.report),
+    }
+
+
 def run_fig5(daemon_counts: Sequence[int] = (64, 128, 256, 512, 768, 1024),
-             tasks_per_daemon: int = TASKS_PER_DAEMON) -> ExperimentResult:
+             tasks_per_daemon: int = TASKS_PER_DAEMON,
+             jobs: int = 1) -> ExperimentResult:
     """Regenerate Figure 5's two series (total and LaunchMON share)."""
     result = ExperimentResult(
         exp_id="fig5",
@@ -53,16 +68,9 @@ def run_fig5(daemon_counts: Sequence[int] = (64, 128, 256, 512, 768, 1024),
             "launchmon_at_1024_daemons": "2.76 s",
         },
     )
-    for n in daemon_counts:
-        r = measure_jobsnap(n, tasks_per_daemon)
-        result.add_row(
-            daemons=n,
-            tasks=r.n_tasks,
-            jobsnap_total=r.t_total,
-            init_to_attachAndSpawn=r.t_launchmon,
-            collection_share=r.t_total - r.t_launchmon,
-            lines=len(r.report),
-        )
+    grid = [dict(n=n, tasks_per_daemon=tasks_per_daemon)
+            for n in daemon_counts]
+    result.rows = map_grid(_fig5_point, grid, jobs=jobs)
     by_daemons = {row["daemons"]: row for row in result.rows}
     if 1024 in by_daemons:
         row = by_daemons[1024]

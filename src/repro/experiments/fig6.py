@@ -18,6 +18,7 @@ from repro.runner import drive, make_env
 from repro.tbon import StartupFailure
 from repro.tools.stat_tool import run_stat_launchmon, run_stat_mrnet_native
 from repro.experiments.common import ExperimentResult
+from repro.experiments.sweep import map_grid
 
 __all__ = ["run_fig6", "measure_stat_startup"]
 
@@ -52,8 +53,29 @@ def measure_stat_startup(n_daemons: int, mechanism: str,
     return box
 
 
+def _fig6_point(n: int, tasks_per_daemon: int) -> dict:
+    """One grid point: both mechanisms at ``n`` daemons (worker-safe)."""
+    mrnet = measure_stat_startup(n, "mrnet", tasks_per_daemon)
+    lmon = measure_stat_startup(n, "launchmon", tasks_per_daemon)
+    if "failure" in mrnet:
+        status = f"FAILED after {mrnet['spawned']} daemons (fork)"
+        mrnet_t = None
+    else:
+        status = "ok"
+        mrnet_t = mrnet["startup"].total
+    lmon_t = lmon["startup"].total
+    return {
+        "daemons": n,
+        "mrnet_1deep": mrnet_t,
+        "launchmon_1deep": lmon_t,
+        "mrnet_status": status,
+        "speedup": (mrnet_t / lmon_t) if mrnet_t else None,
+    }
+
+
 def run_fig6(node_counts: Sequence[int] = (4, 32, 64, 128, 256, 512),
-             tasks_per_daemon: int = TASKS_PER_DAEMON) -> ExperimentResult:
+             tasks_per_daemon: int = TASKS_PER_DAEMON,
+             jobs: int = 1) -> ExperimentResult:
     """Regenerate Figure 6's two curves (plus the 512-node failure)."""
     result = ExperimentResult(
         exp_id="fig6",
@@ -68,25 +90,11 @@ def run_fig6(node_counts: Sequence[int] = (4, 32, 64, 128, 256, 512),
             "launchmon_at_512": "5.6 s",
         },
     )
-    mrnet_points: list[tuple[int, float]] = []
-    for n in node_counts:
-        mrnet = measure_stat_startup(n, "mrnet", tasks_per_daemon)
-        lmon = measure_stat_startup(n, "launchmon", tasks_per_daemon)
-        if "failure" in mrnet:
-            status = f"FAILED after {mrnet['spawned']} daemons (fork)"
-            mrnet_t = None
-        else:
-            status = "ok"
-            mrnet_t = mrnet["startup"].total
-            mrnet_points.append((n, mrnet_t))
-        lmon_t = lmon["startup"].total
-        result.add_row(
-            daemons=n,
-            mrnet_1deep=mrnet_t,
-            launchmon_1deep=lmon_t,
-            mrnet_status=status,
-            speedup=(mrnet_t / lmon_t) if mrnet_t else None,
-        )
+    grid = [dict(n=n, tasks_per_daemon=tasks_per_daemon)
+            for n in node_counts]
+    result.rows = map_grid(_fig6_point, grid, jobs=jobs)
+    mrnet_points = [(r["daemons"], r["mrnet_1deep"]) for r in result.rows
+                    if r["mrnet_1deep"] is not None]
     if len(mrnet_points) >= 2:
         line = fit_component_scaling(*zip(*mrnet_points))
         failed_rows = [r for r in result.rows if r["mrnet_1deep"] is None]

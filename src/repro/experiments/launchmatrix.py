@@ -22,6 +22,7 @@ from repro.launch import LaunchRequest, get_strategy, strategy_names
 from repro.rm.base import DaemonSpec
 from repro.runner import drive, make_env
 from repro.experiments.common import ExperimentResult
+from repro.experiments.sweep import map_grid
 
 __all__ = ["DAEMON_IMAGE_MB", "measure_launch_cell", "run_launch_matrix"]
 
@@ -106,10 +107,22 @@ def measure_launch_cell(strategy: str, staging: str, n_daemons: int,
     }
 
 
+def _lmx_point(strategy: str, staging: str, n: int, image_mb: float) -> dict:
+    """One matrix cell as a result-table row (worker-safe)."""
+    cell = measure_launch_cell(strategy, staging, n, image_mb=image_mb)
+    return {
+        "daemons": n, "strategy": strategy, "staging": staging,
+        "total": cell["total"], "t_spawn": cell["t_spawn"],
+        "t_image_stage": cell["t_image_stage"],
+        "warm_total": cell["warm_total"],
+    }
+
+
 def run_launch_matrix(daemon_counts: Sequence[int] = (64, 256, 512),
                       strategies: Sequence[str] = None,
                       stagings: Sequence[str] = STAGINGS,
-                      image_mb: float = DAEMON_IMAGE_MB) -> ExperimentResult:
+                      image_mb: float = DAEMON_IMAGE_MB,
+                      jobs: int = 1) -> ExperimentResult:
     """The full strategy x staging sweep (per-phase scaling attribution)."""
     strategies = tuple(strategies or strategy_names())
     result = ExperimentResult(
@@ -119,17 +132,11 @@ def run_launch_matrix(daemon_counts: Sequence[int] = (64, 256, 512),
         columns=["daemons", "strategy", "staging", "total", "t_spawn",
                  "t_image_stage", "warm_total"],
     )
-    for n in daemon_counts:
-        for strategy in strategies:
-            for staging in stagings:
-                cell = measure_launch_cell(strategy, staging, n,
-                                           image_mb=image_mb)
-                result.add_row(
-                    daemons=n, strategy=strategy, staging=staging,
-                    total=cell["total"], t_spawn=cell["t_spawn"],
-                    t_image_stage=cell["t_image_stage"],
-                    warm_total=cell["warm_total"],
-                )
+    grid = [dict(strategy=strategy, staging=staging, n=n, image_mb=image_mb)
+            for n in daemon_counts
+            for strategy in strategies
+            for staging in stagings]
+    result.rows = map_grid(_lmx_point, grid, jobs=jobs)
     result.notes.append(
         "broadcast staging collapses the cold image-stage term from O(N) "
         "serialized shared-FS reads to one read + O(log N) node-to-node "

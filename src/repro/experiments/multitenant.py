@@ -28,6 +28,7 @@ from repro.be import BackEnd
 from repro.experiments.common import ExperimentResult, percentile
 from repro.rm import DaemonSpec
 from repro.runner import ServiceEnv, drive, make_service_env
+from repro.experiments.sweep import map_grid
 
 __all__ = ["run_multitenant", "run_tenants_once"]
 
@@ -71,11 +72,34 @@ def run_tenants_once(n_tenants: int,
     return env, handles
 
 
+def _mt_point(n: int, n_compute: int, nodes_per_session: int,
+              tasks_per_node: int, max_in_flight: Optional[int]) -> dict:
+    """One grid point: a full tenant wave, reduced to row scalars
+    (env/handles stay in the worker -- they are not picklable)."""
+    env, handles = run_tenants_once(
+        n, n_compute=n_compute, nodes_per_session=nodes_per_session,
+        tasks_per_node=tasks_per_node, max_in_flight=max_in_flight)
+    lats = [h.launch_latency for h in handles]
+    waits = [h.alloc_wait for h in handles]
+    makespan = max(h.finished_at for h in handles)
+    return {
+        "tenants": n,
+        "makespan": makespan,
+        "throughput": n / makespan if makespan > 0 else 0.0,
+        "p50_latency": percentile(lats, 50),
+        "p99_latency": percentile(lats, 99),
+        "mean_alloc_wait": sum(waits) / len(waits),
+        "peak_in_flight": env.service.peak_in_flight,
+        "rm_queue_peak": env.rm.alloc_queue_peak,
+    }
+
+
 def run_multitenant(tenant_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
                     n_compute: int = 64,
                     nodes_per_session: int = 8,
                     tasks_per_node: int = 4,
-                    max_in_flight: Optional[int] = None) -> ExperimentResult:
+                    max_in_flight: Optional[int] = None,
+                    jobs: int = 1) -> ExperimentResult:
     """Sweep concurrent-tenant counts; report throughput and latency."""
     result = ExperimentResult(
         exp_id="mt",
@@ -91,23 +115,12 @@ def run_multitenant(tenant_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
                     "dimension the ROADMAP targets",
         },
     )
-    for n in tenant_counts:
-        env, handles = run_tenants_once(
-            n, n_compute=n_compute, nodes_per_session=nodes_per_session,
-            tasks_per_node=tasks_per_node, max_in_flight=max_in_flight)
-        lats = [h.launch_latency for h in handles]
-        waits = [h.alloc_wait for h in handles]
-        makespan = max(h.finished_at for h in handles)
-        result.add_row(
-            tenants=n,
-            makespan=makespan,
-            throughput=n / makespan if makespan > 0 else 0.0,
-            p50_latency=percentile(lats, 50),
-            p99_latency=percentile(lats, 99),
-            mean_alloc_wait=sum(waits) / len(waits),
-            peak_in_flight=env.service.peak_in_flight,
-            rm_queue_peak=env.rm.alloc_queue_peak,
-        )
+    grid = [dict(n=n, n_compute=n_compute,
+                 nodes_per_session=nodes_per_session,
+                 tasks_per_node=tasks_per_node,
+                 max_in_flight=max_in_flight)
+            for n in tenant_counts]
+    result.rows = map_grid(_mt_point, grid, jobs=jobs)
     sat = n_compute // nodes_per_session
     result.notes.append(
         f"cluster fits {sat} sessions at once; beyond that the RM's FIFO "

@@ -40,6 +40,7 @@ from repro.runner import drive, make_env
 from repro.tbon import Overlay, TBONTopology
 from repro.tbon.overlay import StreamSpec
 from repro.experiments.common import ExperimentResult
+from repro.experiments.sweep import map_grid
 
 __all__ = [
     "default_policy",
@@ -210,11 +211,46 @@ def measure_tbon_repair(n_backends: int = 64, fanout: int = 8,
     }
 
 
+def _res_block(strategy: str, n: int, fault_rates: tuple,
+               repair_modes: tuple, image_mb: float) -> list:
+    """One (strategy, daemons) block of the sweep, as result-table rows.
+
+    The block is the natural parallel grain: its cells share the measured
+    fault-free baseline (the crash-window measure), so they must run in
+    one worker; blocks are fully independent of each other.
+    """
+    # the fault-free baseline doubles as the crash-window measure: the
+    # window must sit inside the spawn phase regardless of strategy (a
+    # serial-rsh spawn is two orders of magnitude longer than an rm-bulk
+    # one), so estimate nothing -- measure
+    baseline = measure_resilient_launch(
+        strategy, n, 0.0, False, image_mb=image_mb)
+    window = (baseline["report"] or {}).get("total", 1.0)
+    rows = []
+    for rate in fault_rates:
+        for repair in repair_modes:
+            if rate == 0.0 and not repair:
+                cell = baseline
+            else:
+                cell = measure_resilient_launch(
+                    strategy, n, rate, repair, image_mb=image_mb,
+                    spawn_window=window)
+            rows.append({
+                "daemons": n, "strategy": strategy, "fault_rate": rate,
+                "repair": repair, "state": cell["state"], "up": cell["up"],
+                "n_failed": cell["n_failed"],
+                "n_retried": cell["n_retried"],
+                "t_attach": cell["t_attach"],
+            })
+    return rows
+
+
 def run_resilience(daemon_counts: Sequence[int] = (128,),
                    fault_rates: Sequence[float] = (0.0, 0.02, 0.05),
                    strategies: Sequence[str] = STRATEGIES,
                    repair_modes: Sequence[bool] = (False, True),
-                   image_mb: float = DAEMON_IMAGE_MB) -> ExperimentResult:
+                   image_mb: float = DAEMON_IMAGE_MB,
+                   jobs: int = 1) -> ExperimentResult:
     """The full fault-rate x strategy x repair sweep (session level)."""
     result = ExperimentResult(
         exp_id="res",
@@ -223,30 +259,12 @@ def run_resilience(daemon_counts: Sequence[int] = (128,),
         columns=["daemons", "strategy", "fault_rate", "repair", "state",
                  "up", "n_failed", "n_retried", "t_attach"],
     )
-    for n in daemon_counts:
-        for strategy in strategies:
-            # the fault-free baseline doubles as the crash-window measure:
-            # the window must sit inside the spawn phase regardless of
-            # strategy (a serial-rsh spawn is two orders of magnitude
-            # longer than an rm-bulk one), so estimate nothing -- measure
-            baseline = measure_resilient_launch(
-                strategy, n, 0.0, False, image_mb=image_mb)
-            window = (baseline["report"] or {}).get("total", 1.0)
-            for rate in fault_rates:
-                for repair in repair_modes:
-                    if rate == 0.0 and not repair:
-                        cell = baseline
-                    else:
-                        cell = measure_resilient_launch(
-                            strategy, n, rate, repair, image_mb=image_mb,
-                            spawn_window=window)
-                    result.add_row(
-                        daemons=n, strategy=strategy, fault_rate=rate,
-                        repair=repair, state=cell["state"], up=cell["up"],
-                        n_failed=cell["n_failed"],
-                        n_retried=cell["n_retried"],
-                        t_attach=cell["t_attach"],
-                    )
+    grid = [dict(strategy=strategy, n=n, fault_rates=tuple(fault_rates),
+                 repair_modes=tuple(repair_modes), image_mb=image_mb)
+            for n in daemon_counts
+            for strategy in strategies]
+    for block in map_grid(_res_block, grid, jobs=jobs):
+        result.rows.extend(block)
     result.notes.append(
         "repair=True runs under LaunchPolicy (per-daemon timeout, bounded "
         "retry with backoff, node blacklisting, min_daemon_fraction=0.8): "

@@ -32,6 +32,7 @@ from repro.tbon import Overlay, TBONTopology
 from repro.tbon.overlay import StreamSpec
 from repro.tools.monitor import run_monitor
 from repro.experiments.common import ExperimentResult
+from repro.experiments.sweep import map_grid
 
 __all__ = ["measure_monitor", "measure_stream", "run_streaming",
            "synthetic_payload"]
@@ -172,12 +173,32 @@ def measure_monitor(n_daemons: int = 16, n_waves: int = 8,
     }
 
 
+def _str_point(n: int, filter_name: str, window: int, credit: int,
+               n_waves: int, fanout: int) -> dict:
+    """One sweep cell as a result-table row (worker-safe)."""
+    cell = measure_stream(n, filter_name=filter_name, window=window,
+                          credit_limit=credit, n_waves=n_waves,
+                          fanout=fanout)
+    return {
+        "leaves": n, "filter": filter_name, "window": window,
+        "credit": credit, "delivered": cell["delivered"],
+        "thpt": cell["throughput"],
+        "thpt_model": cell["throughput_model"],
+        "err_pct": 100.0 * cell["model_err"],
+        "mean_lat": cell["mean_latency"],
+        "dominant": cell["dominant_phase"],
+        "max_depth": cell["max_inbox_depth"],
+        "stalls": cell["n_stalls"],
+    }
+
+
 def run_streaming(leaf_counts: Sequence[int] = (64, 256, 1024),
                   filters: Sequence[str] = FILTERS,
                   windows: Sequence[int] = (0, 8),
                   credit_limits: Sequence[int] = (2, 8),
                   n_waves: int = 20,
-                  fanout: int = 16) -> ExperimentResult:
+                  fanout: int = 16,
+                  jobs: int = 1) -> ExperimentResult:
     """The full leaves x filter x window x credit-limit sweep."""
     result = ExperimentResult(
         exp_id="str",
@@ -187,25 +208,13 @@ def run_streaming(leaf_counts: Sequence[int] = (64, 256, 1024),
                  "thpt", "thpt_model", "err_pct", "mean_lat",
                  "dominant", "max_depth", "stalls"],
     )
-    for n in leaf_counts:
-        for filter_name in filters:
-            for window in windows:
-                for credit in credit_limits:
-                    cell = measure_stream(
-                        n, filter_name=filter_name, window=window,
-                        credit_limit=credit, n_waves=n_waves,
-                        fanout=fanout)
-                    result.add_row(
-                        leaves=n, filter=filter_name, window=window,
-                        credit=credit, delivered=cell["delivered"],
-                        thpt=cell["throughput"],
-                        thpt_model=cell["throughput_model"],
-                        err_pct=100.0 * cell["model_err"],
-                        mean_lat=cell["mean_latency"],
-                        dominant=cell["dominant_phase"],
-                        max_depth=cell["max_inbox_depth"],
-                        stalls=cell["n_stalls"],
-                    )
+    grid = [dict(n=n, filter_name=filter_name, window=window, credit=credit,
+                 n_waves=n_waves, fanout=fanout)
+            for n in leaf_counts
+            for filter_name in filters
+            for window in windows
+            for credit in credit_limits]
+    result.rows = map_grid(_str_point, grid, jobs=jobs)
     result.notes.append(
         "thpt_model is the StreamModel pipeline prediction: the widest "
         "router's per-wave merge processing + the credit-gated feeding "

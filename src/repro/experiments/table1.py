@@ -17,6 +17,7 @@ from repro.tools.oss import (
     LaunchmonInstrumentor,
 )
 from repro.experiments.common import ExperimentResult
+from repro.experiments.sweep import map_grid
 
 __all__ = ["run_table1", "measure_apai_access"]
 
@@ -51,8 +52,21 @@ def measure_apai_access(n_nodes: int, tasks_per_node: int = TASKS_PER_NODE,
     return box
 
 
+def _table1_point(n: int, tasks_per_node: int) -> dict:
+    """One grid point: both instrumentors' APAI access at ``n`` nodes."""
+    r = measure_apai_access(n, tasks_per_node)
+    return {
+        "nodes": n,
+        "DPCL": r["dpcl"].t_access,
+        "LaunchMON": r["launchmon"].t_access,
+        "improvement": r["dpcl"].t_access / r["launchmon"].t_access,
+        "dpcl_root_daemons": r["dpcl"].used_root_daemons,
+    }
+
+
 def run_table1(node_counts: Sequence[int] = (2, 4, 8, 16, 32),
-               tasks_per_node: int = TASKS_PER_NODE) -> ExperimentResult:
+               tasks_per_node: int = TASKS_PER_NODE,
+               jobs: int = 1) -> ExperimentResult:
     """Regenerate Table 1."""
     result = ExperimentResult(
         exp_id="table1",
@@ -64,15 +78,8 @@ def run_table1(node_counts: Sequence[int] = (2, 4, 8, 16, 32),
             "launchmon_row": "0.606 / 0.627 / 0.604 / 0.617 / 0.626 s",
         },
     )
-    for n in node_counts:
-        r = measure_apai_access(n, tasks_per_node)
-        result.add_row(
-            nodes=n,
-            DPCL=r["dpcl"].t_access,
-            LaunchMON=r["launchmon"].t_access,
-            improvement=r["dpcl"].t_access / r["launchmon"].t_access,
-            dpcl_root_daemons=r["dpcl"].used_root_daemons,
-        )
+    grid = [dict(n=n, tasks_per_node=tasks_per_node) for n in node_counts]
+    result.rows = map_grid(_table1_point, grid, jobs=jobs)
     first, last = result.rows[0], result.rows[-1]
     result.notes.append(
         f"DPCL flat at ~{last['DPCL']:.1f}s (paper ~34 s: full RM binary "

@@ -24,6 +24,7 @@ node contention instead of silently over-allocating the machine.
 from __future__ import annotations
 
 import enum
+import heapq
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
@@ -171,6 +172,85 @@ class RMJob:
         mem[MPIR_DEBUG_STATE] = MPIR_DEBUG_SPAWNED
 
 
+class _ObservedBlacklist(set):
+    """The RM's node blacklist, instrumented to keep the free-node index
+    exact: the launch layer adds condemned node names directly to this
+    (shared) set, so membership changes must reach the index without the
+    RM being called. Plain-``set`` semantics otherwise."""
+
+    def __init__(self, rm: "ResourceManager"):
+        super().__init__()
+        self._rm = rm
+
+    def add(self, name: str) -> None:
+        if name not in self:
+            set.add(self, name)
+            self._rm._index_ban(name)
+
+    def update(self, *others) -> None:
+        for other in others:
+            for name in other:
+                self.add(name)
+
+    def discard(self, name: str) -> None:
+        if name in self:
+            set.discard(self, name)
+            self._rm._index_unban(name)
+
+    def remove(self, name: str) -> None:
+        set.remove(self, name)  # raises KeyError if absent
+        self._rm._index_unban(name)
+
+    def clear(self) -> None:
+        names = list(self)
+        set.clear(self)
+        for name in names:
+            self._rm._index_unban(name)
+
+    def pop(self) -> str:
+        if not self:
+            raise KeyError("pop from an empty blacklist")
+        name = next(iter(self))
+        self.remove(name)
+        return name
+
+    def difference_update(self, *others) -> None:
+        for other in others:
+            for name in list(other):
+                self.discard(name)
+
+    def intersection_update(self, *others) -> None:
+        keep = set(self).intersection(*others)
+        for name in list(self):
+            if name not in keep:
+                self.discard(name)
+
+    def symmetric_difference_update(self, other) -> None:
+        for name in list(other):
+            if name in self:
+                self.discard(name)
+            else:
+                self.add(name)
+
+    # the C-level in-place operators bypass the methods above; route them
+    # through the observed mutators so no mutation path can skip the index
+    def __ior__(self, other):
+        self.update(other)
+        return self
+
+    def __isub__(self, other):
+        self.difference_update(other)
+        return self
+
+    def __iand__(self, other):
+        self.intersection_update(other)
+        return self
+
+    def __ixor__(self, other):
+        self.symmetric_difference_update(other)
+        return self
+
+
 class ResourceManager:
     """Base RM: allocation bookkeeping plus the service interface."""
 
@@ -196,10 +276,26 @@ class ResourceManager:
         self.launch_strategy = launch_strategy
         #: nodes condemned by exhausted launch retries; free_nodes() skips
         #: them, so a blacklisted node is never re-allocated (shared with
-        #: every LaunchRequest this RM issues)
-        self.node_blacklist: set[str] = set()
+        #: every LaunchRequest this RM issues, which mutates it directly --
+        #: hence the observed-set type keeping the free index in sync)
+        self.node_blacklist: set[str] = _ObservedBlacklist(self)
         self._alloc_ids = itertools.count(1)
         self._allocated: set[str] = set()
+        # -- free-node index: grantability is tracked incrementally so an
+        # allocation costs O(k log n) instead of rescanning all N nodes
+        # (the scan made every allocate/queue-pump O(N), i.e. launch
+        # sweeps O(N^2)). ``_free`` holds the *positions* (in
+        # cluster.compute order) of grantable nodes -- not allocated, not
+        # crashed, not blacklisted; ``_free_heap`` is a lazy min-heap over
+        # the same positions (stale entries are skipped at pop time), so
+        # grants keep the classic deterministic lowest-position-first
+        # order.
+        self._node_pos: dict[str, int] = {
+            n.name: i for i, n in enumerate(cluster.compute)}
+        self._free: set[int] = {
+            i for i, n in enumerate(cluster.compute) if not n.failed}
+        self._free_heap: list[int] = sorted(self._free)
+        cluster.add_failure_listener(self._on_node_failed)
         self.jobs: list[RMJob] = []
         #: FIFO queue of pending async requests: (n_nodes, grant event, t_req)
         self._alloc_waiters: deque[tuple[int, Event, float]] = deque()
@@ -220,11 +316,52 @@ class ResourceManager:
         """Compute nodes grantable to a new allocation: not currently
         allocated, not crashed, and not on the launch blacklist (a node
         condemned by exhausted spawn retries is never re-allocated within
-        this RM's lifetime -- sessions must not keep rediscovering it)."""
-        return [n for n in self.cluster.compute
-                if n.name not in self._allocated
-                and not n.failed
-                and n.name not in self.node_blacklist]
+        this RM's lifetime -- sessions must not keep rediscovering it).
+
+        Served from the incremental free-node index (same contents and
+        order as the historical full scan, without the O(N) walk on the
+        allocation fast path)."""
+        compute = self.cluster.compute
+        return [compute[i] for i in sorted(self._free)]
+
+    # -- free-node index maintenance -----------------------------------------
+    def _index_ban(self, name: str) -> None:
+        """A node became ungrantable (blacklisted): drop it from the index
+        (its heap entry, if any, goes stale and is skipped at pop)."""
+        pos = self._node_pos.get(name)
+        if pos is not None:
+            self._free.discard(pos)
+
+    def _index_unban(self, name: str) -> None:
+        """A node left the blacklist: re-index it if otherwise grantable."""
+        pos = self._node_pos.get(name)
+        if (pos is not None and pos not in self._free
+                and name not in self._allocated
+                and not self.cluster.compute[pos].failed):
+            self._free.add(pos)
+            heapq.heappush(self._free_heap, pos)
+
+    def _on_node_failed(self, node: Node) -> None:
+        """Cluster failure listener: a crashed node is never grantable."""
+        pos = self._node_pos.get(node.name)
+        if pos is not None:
+            self._free.discard(pos)
+
+    def _take_free(self, n_nodes: int) -> list[Node]:
+        """Remove and return the ``n_nodes`` lowest-position free nodes.
+
+        Callers must have checked ``len(self._free) >= n_nodes``; pops skip
+        stale heap entries (positions that were allocated, crashed or
+        blacklisted since being pushed)."""
+        free, heap = self._free, self._free_heap
+        compute = self.cluster.compute
+        taken: list[Node] = []
+        while len(taken) < n_nodes:
+            pos = heapq.heappop(heap)
+            if pos in free:
+                free.discard(pos)
+                taken.append(compute[pos])
+        return taken
 
     def allocate(self, n_nodes: int) -> Allocation:
         """Grant ``n_nodes`` free compute nodes immediately (deterministic
@@ -240,12 +377,11 @@ class ResourceManager:
             raise AllocationError(
                 f"{self.name}: {len(self._alloc_waiters)} request(s) already "
                 f"queued ahead; use allocate_async to wait in line")
-        free = self.free_nodes()
-        if len(free) < n_nodes:
+        if len(self._free) < n_nodes:
             raise AllocationError(
                 f"{self.name}: requested {n_nodes} nodes, only "
-                f"{len(free)} free of {len(self.cluster.compute)}")
-        return self._grant(free[:n_nodes])
+                f"{len(self._free)} free of {len(self.cluster.compute)}")
+        return self._grant(self._take_free(n_nodes))
 
     def allocate_async(self, n_nodes: int) -> Generator[Any, Any, Allocation]:
         """Queue for ``n_nodes`` nodes; a generator that waits under contention.
@@ -287,10 +423,18 @@ class ResourceManager:
 
     def release(self, alloc: Allocation) -> None:
         for n in alloc.nodes:
-            self._allocated.discard(n.name)
+            if n.name in self._allocated:
+                self._allocated.discard(n.name)
+                pos = self._node_pos[n.name]
+                if (pos not in self._free and not n.failed
+                        and n.name not in self.node_blacklist):
+                    self._free.add(pos)
+                    heapq.heappush(self._free_heap, pos)
         self._pump_alloc_queue()
 
     def _grant(self, nodes: list[Node]) -> Allocation:
+        """Record ``nodes`` (already removed from the free index by
+        :meth:`_take_free`) as allocated."""
         for n in nodes:
             self._allocated.add(n.name)
         return Allocation(alloc_id=next(self._alloc_ids), nodes=nodes)
@@ -299,12 +443,11 @@ class ResourceManager:
         """Grant queued async requests while the head request fits."""
         while self._alloc_waiters:
             n_nodes, grant, t_req = self._alloc_waiters[0]
-            free = self.free_nodes()
-            if len(free) < n_nodes:
+            if len(self._free) < n_nodes:
                 return
             self._alloc_waiters.popleft()
             self.alloc_waits.append(self.sim.now - t_req)
-            grant.succeed(self._grant(free[:n_nodes]))
+            grant.succeed(self._grant(self._take_free(n_nodes)))
 
     # -- service interface (platform-specific) -------------------------------
     def launcher_executable(self) -> str:

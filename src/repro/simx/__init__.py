@@ -30,6 +30,7 @@ from repro.simx.core import (
     Event,
     Interrupt,
     Process,
+    SimStats,
     SimulationError,
     Simulator,
     Timeout,
@@ -48,6 +49,7 @@ __all__ = [
     "Process",
     "Resource",
     "SeededRNG",
+    "SimStats",
     "SimulationError",
     "Simulator",
     "Store",

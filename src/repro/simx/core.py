@@ -5,18 +5,36 @@ The kernel implements a strict event-driven execution model:
 * an :class:`Event` is a one-shot future with callbacks;
 * a :class:`Process` wraps a generator; each value the generator yields must
   be an :class:`Event`, and the process resumes when that event triggers;
-* the :class:`Simulator` owns a binary heap of ``(time, priority, seq, event)``
-  entries and processes them in deterministic order.
+* the :class:`Simulator` schedules ``(time, priority, seq)``-ordered events
+  and processes them in deterministic order.
 
 Determinism contract: two events scheduled for the same time trigger in the
-order they were scheduled (``seq`` is a monotone counter); no wall-clock or
-global RNG state is consulted anywhere in the kernel.
+order they were scheduled (``seq`` is a monotone counter), with URGENT
+events before NORMAL ones; no wall-clock or global RNG state is consulted
+anywhere in the kernel (wall-clock is *measured* for
+:attr:`Simulator.stats`, never consulted for scheduling).
+
+Scheduling uses two structures with one total order:
+
+* a binary heap of ``(time, priority, seq, event)`` entries for events in
+  the *future* (``delay > 0``);
+* two same-time FIFO lanes (URGENT / NORMAL) for events scheduled at the
+  *current instant* (``delay == 0``) -- ``succeed``/``fail``, process
+  completion and process bootstrap, which dominate large launches.
+
+Zero-delay events are appended to a lane in seq order and can only fire
+while ``now`` is unchanged, so a lane head's implied key is
+``(now, lane priority, seq)``; the dispatcher pops the minimum of that and
+the heap top, which reproduces the pure-heap order exactly while keeping
+the dominant churn O(1) instead of O(log heap). ``Simulator(fast_lane=
+False)`` routes everything through the heap for differential testing.
 """
 
 from __future__ import annotations
 
 import heapq
-from itertools import count
+from collections import deque
+from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -25,6 +43,7 @@ __all__ = [
     "Event",
     "Interrupt",
     "Process",
+    "SimStats",
     "SimulationError",
     "Simulator",
     "Timeout",
@@ -185,6 +204,27 @@ class _Initialize(Event):
         return True
 
 
+class _Waiter:
+    """Detachable subscription handle for a suspended :class:`Process`.
+
+    An event's callback list never shrinks: detaching a waiter just clears
+    ``proc`` (a tombstone), so :meth:`Process.interrupt` is O(1) no matter
+    how many other processes wait on the same event -- a go-broadcast gate
+    with thousands of waiters used to pay an O(n) ``list.remove`` per
+    interrupt. A tombstoned waiter is a no-op when its event fires.
+    """
+
+    __slots__ = ("proc",)
+
+    def __init__(self, proc: "Process"):
+        self.proc = proc
+
+    def __call__(self, event: Event) -> None:
+        proc = self.proc
+        if proc is not None:
+            proc._resume(event)
+
+
 class Process(Event):
     """A generator-based simulated process.
 
@@ -194,7 +234,7 @@ class Process(Event):
     :class:`Process`.
     """
 
-    __slots__ = ("_gen", "_target", "name")
+    __slots__ = ("_gen", "_target", "name", "_waiter")
 
     def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any],
                  name: str = ""):
@@ -203,6 +243,7 @@ class Process(Event):
         super().__init__(sim)
         self._gen = gen
         self._target: Optional[Event] = None
+        self._waiter = _Waiter(self)
         self.name = name or getattr(gen, "__name__", "process")
         _Initialize(sim, self)
 
@@ -221,16 +262,29 @@ class Process(Event):
         interrupt_ev._value = None
         interrupt_ev._exc = Interrupt(cause)
         interrupt_ev._defused = True
-        interrupt_ev.callbacks.append(self._resume)  # type: ignore[union-attr]
+        interrupt_ev.callbacks.append(  # type: ignore[union-attr]
+            self._resume_interrupted)
         # Detach from the event we were waiting on: when it later triggers it
-        # must not resume us again.
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:  # pragma: no cover - already detached
-                pass
+        # must not resume us again. O(1): tombstone the subscription handle
+        # instead of scanning the target's (possibly huge) callback list.
+        if self._target is not None:
+            self._waiter.proc = None
+            self._waiter = _Waiter(self)
         self._target = None
         self.sim._enqueue(interrupt_ev, 0.0, URGENT)
+
+    def _resume_interrupted(self, event: Event) -> None:
+        """Deliver a queued Interrupt. The process may have suspended (or
+        resumed and re-suspended) on a new target between ``interrupt()``
+        and this delivery -- e.g. it was interrupted in the same instant
+        it was created, before its bootstrap ran -- so detach from
+        whatever it waits on *now*; otherwise that event would later
+        resume the process a second time."""
+        if not self.triggered and self._target is not None:
+            self._waiter.proc = None
+            self._waiter = _Waiter(self)
+            self._target = None
+        self._resume(event)
 
     def _resume(self, event: Event) -> None:
         if self.triggered:
@@ -274,8 +328,9 @@ class Process(Event):
                 raise SimulationError("yielded event from a foreign simulator")
 
             if next_ev.callbacks is not None:
-                # Not yet processed: subscribe and suspend.
-                next_ev.callbacks.append(self._resume)
+                # Not yet processed: subscribe (via the detachable waiter
+                # handle) and suspend.
+                next_ev.callbacks.append(self._waiter)
                 self._target = next_ev
                 self.sim._active_proc = None
                 return
@@ -397,6 +452,51 @@ def run_bounded(sim: "Simulator", gen: Generator[Event, Any, Any],
     return worker
 
 
+class SimStats:
+    """Kernel counters for one :class:`Simulator` (see ``Simulator.stats``).
+
+    All counters are observational -- nothing in the kernel consults them
+    for scheduling, so they cannot perturb determinism. ``wall_time`` only
+    accumulates across :meth:`Simulator.run` calls (bare ``step()`` loops
+    are not timed).
+    """
+
+    __slots__ = ("events", "fast_events", "heap_pushes", "heap_high_water",
+                 "wall_time")
+
+    def __init__(self) -> None:
+        #: total events processed (fired)
+        self.events = 0
+        #: events that went through a same-time FIFO lane, not the heap
+        self.fast_events = 0
+        #: events pushed onto the heap (future events, or all of them
+        #: when the fast lane is disabled)
+        self.heap_pushes = 0
+        #: largest number of simultaneously scheduled heap entries
+        self.heap_high_water = 0
+        #: cumulative wall-clock seconds spent inside ``run()``
+        self.wall_time = 0.0
+
+    def events_per_sec(self) -> float:
+        """Wall-clock event throughput over all ``run()`` calls so far."""
+        return self.events / self.wall_time if self.wall_time > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "events": self.events,
+            "fast_events": self.fast_events,
+            "heap_pushes": self.heap_pushes,
+            "heap_high_water": self.heap_high_water,
+            "wall_time": self.wall_time,
+            "events_per_sec": self.events_per_sec(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<SimStats events={self.events} fast={self.fast_events} "
+                f"heap_hw={self.heap_high_water} "
+                f"ev/s={self.events_per_sec():.0f}>")
+
+
 class Simulator:
     """Deterministic discrete-event simulator.
 
@@ -411,13 +511,31 @@ class Simulator:
         proc = sim.process(worker(sim))
         sim.run()
         assert sim.now == 1.5 and proc.value == "done"
+
+    ``fast_lane=False`` disables the same-time FIFO lanes and schedules
+    every event through the heap -- the pre-optimization behaviour, kept so
+    differential tests can prove the fast lane preserves the event order
+    (see the module docstring's determinism contract).
+
+    ``stats`` exposes kernel counters (:class:`SimStats`); setting
+    ``trace`` to a callable makes the dispatcher invoke it as
+    ``trace(time, priority, seq, event)`` for every event fired, in firing
+    order -- the hook determinism specs record traces through.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fast_lane: bool = True) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
-        self._seq = count()
+        #: same-time FIFO lanes for zero-delay events: (seq, event) pairs
+        self._fast_urgent: deque[tuple[int, Event]] = deque()
+        self._fast_normal: deque[tuple[int, Event]] = deque()
+        self._fast_lane = fast_lane
+        self._seq = 0
         self._active_proc: Optional[Process] = None
+        #: kernel counters -- events processed, heap high-water, wall rate
+        self.stats = SimStats()
+        #: optional per-event hook: trace(time, priority, seq, event)
+        self.trace: Optional[Callable[[float, int, int, Event], None]] = None
 
     # -- time ------------------------------------------------------------
     @property
@@ -446,19 +564,59 @@ class Simulator:
 
     # -- scheduling / execution -------------------------------------------
     def _enqueue(self, event: Event, delay: float, priority: int) -> None:
-        heapq.heappush(
-            self._heap, (self._now + delay, priority, next(self._seq), event))
+        self._seq = seq = self._seq + 1
+        if delay == 0.0 and self._fast_lane:
+            # Same-time fast lane: zero-delay events can only fire while
+            # ``now`` is unchanged, so FIFO append preserves seq order and
+            # the dispatcher can treat the lane head as (now, prio, seq).
+            if priority == NORMAL:
+                self._fast_normal.append((seq, event))
+            else:
+                self._fast_urgent.append((seq, event))
+            return
+        heap = self._heap
+        heapq.heappush(heap, (self._now + delay, priority, seq, event))
+        stats = self.stats
+        stats.heap_pushes += 1
+        if len(heap) > stats.heap_high_water:
+            stats.heap_high_water = len(heap)
+
+    def _pop_next(self) -> tuple[int, int, Event]:
+        """Pop the globally minimal ``(time, priority, seq)`` entry,
+        advancing ``now`` for heap entries. Returns (priority, seq, event);
+        raises on an empty schedule."""
+        if self._fast_urgent:
+            lane, lane_prio = self._fast_urgent, URGENT
+        elif self._fast_normal:
+            lane, lane_prio = self._fast_normal, NORMAL
+        else:
+            lane = None
+        heap = self._heap
+        if heap:
+            when, prio, seq, event = heap[0]
+            if lane is None or (when, prio, seq) < (self._now, lane_prio,
+                                                    lane[0][0]):
+                heapq.heappop(heap)
+                self._now = when
+                return prio, seq, event
+        elif lane is None:
+            raise SimulationError("step() on an empty schedule")
+        seq, event = lane.popleft()
+        self.stats.fast_events += 1
+        return lane_prio, seq, event
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._fast_urgent or self._fast_normal:
+            return self._now
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._heap:
-            raise SimulationError("step() on an empty schedule")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
-        self._now = when
+        _prio, _seq, event = self._pop_next()
+        self.stats.events += 1
+        if self.trace is not None:
+            self.trace(self._now, _prio, _seq, event)
         event._run_callbacks()
 
     def run(self, until: Optional[float] = None) -> None:
@@ -467,10 +625,45 @@ class Simulator:
         if until is not None and until < self._now:
             raise SimulationError(
                 f"until={until} lies in the past (now={self._now})")
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
-                self._now = until
-                return
-            self.step()
+        # local aliases: this loop is the whole program's hot path
+        heap = self._heap
+        fast_urgent = self._fast_urgent
+        fast_normal = self._fast_normal
+        heappop = heapq.heappop
+        stats = self.stats
+        trace = self.trace
+        wall0 = perf_counter()
+        try:
+            while True:
+                if fast_urgent:
+                    lane, lane_prio = fast_urgent, URGENT
+                elif fast_normal:
+                    lane, lane_prio = fast_normal, NORMAL
+                else:
+                    lane = None
+                if heap:
+                    when, prio, seq, event = heap[0]
+                    if lane is None or (when, prio, seq) < (
+                            self._now, lane_prio, lane[0][0]):
+                        if until is not None and when > until:
+                            self._now = until
+                            return
+                        heappop(heap)
+                        self._now = when
+                        stats.events += 1
+                        if trace is not None:
+                            trace(when, prio, seq, event)
+                        event._run_callbacks()
+                        continue
+                elif lane is None:
+                    break
+                seq, event = lane.popleft()
+                stats.fast_events += 1
+                stats.events += 1
+                if trace is not None:
+                    trace(self._now, lane_prio, seq, event)
+                event._run_callbacks()
+        finally:
+            stats.wall_time += perf_counter() - wall0
         if until is not None:
             self._now = until

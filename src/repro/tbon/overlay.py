@@ -57,7 +57,7 @@ from typing import Any, Generator, Optional
 
 from repro.simx import Channel, Simulator, Store
 from repro.cluster import Node
-from repro.cluster.network import Network
+from repro.cluster.network import Network, message_size
 from repro.tbon.filters import get_filter, make_filter
 from repro.tbon.flow import (
     BoundedInbox,
@@ -179,6 +179,8 @@ class Overlay:
             p: topology.parent[p] for p in range(topology.size)}
         #: positions whose node has died (never contains the root)
         self._dead: set[int] = set()
+        #: lazy position -> live children index (invalidated by repair)
+        self._children_cache: Optional[list[list[int]]] = None
         #: live router/pump processes, interrupted on repair
         self._plane_procs: list = []
         #: every repair pass performed, in order
@@ -195,8 +197,21 @@ class Overlay:
 
     def children_of(self, pos: int) -> list[int]:
         """Live effective children of ``pos``."""
-        return [q for q in range(self.topology.size)
-                if q not in self._dead and self._parent[q] == pos]
+        cache = self._children_cache
+        if cache is None:
+            # one O(size) pass instead of O(size) *per call*: router
+            # startup alone asks for every position's children, which made
+            # large overlays quadratic. Rebuilt after any repair mutation.
+            cache = [[] for _ in range(self.topology.size)]
+            dead = self._dead
+            parent = self._parent
+            for q in range(1, self.topology.size):
+                if q not in dead:
+                    par = parent[q]
+                    if par is not None:
+                        cache[par].append(q)
+            self._children_cache = cache
+        return list(cache[pos])
 
     def live_positions(self) -> list[int]:
         """Positions whose node is still up (root included)."""
@@ -226,8 +241,9 @@ class Overlay:
         return self._down_stores[pos]
 
     def _fan_down(self, pos: int, pkt: Packet) -> Generator[Any, Any, None]:
+        size = message_size(pkt)
         for child in self.children_of(pos):
-            delay = self.network.transfer_time(pkt)
+            delay = self.network.transfer_time(pkt, size=size)
             yield self.sim.timeout(delay)
             yield self._down_store(child).put(pkt)
             self.packets_routed += 1
@@ -379,6 +395,7 @@ class Overlay:
         if not newly_dead:
             return RepairReport(dead=self.dead_positions())
         self._dead.update(newly_dead)
+        self._children_cache = None
 
         # tear down the old routing plane (dead routers are already gone --
         # their node's fail() interrupted them)
@@ -413,6 +430,7 @@ class Overlay:
             yield sim.all_of(workers)
         for pos, anc in reparented.items():
             self._parent[pos] = anc
+        self._children_cache = None
 
         # prune live internal positions stranded with no live children
         # (all their leaves died): they can never contribute to a wave,
@@ -429,6 +447,7 @@ class Overlay:
                 if (self.topology.kind[pos] != "be"
                         and not self.children_of(pos)):
                     self._dead.add(pos)
+                    self._children_cache = None
                     pruned.append(pos)
                     changed = True
 

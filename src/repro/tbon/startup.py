@@ -189,9 +189,23 @@ def launchmon_startup(fe_api, session, job: RMJob,
         else:
             info = None
         info = yield from be.broadcast(info)
-        topo_l = TBONTopology.from_jsonable(ctx.usr_data_init["topology"])
-        placement_names = {int(k): v for k, v in info["placement"].items()}
-        my_pos = topo_l.backends()[ctx.rank]
+        # every daemon decodes the piggybacked topology and the broadcast
+        # placement; the decode costs no virtual time, so daemons of one
+        # session share one parsed form instead of each re-parsing the
+        # same wire object -- at 64k daemons the per-daemon parses were
+        # an O(N^2) wall-clock term that dwarfed the simulation itself
+        wire = ctx.usr_data_init["topology"]
+        if shared.get("topo_wire") is not wire:
+            shared["topo_wire"] = wire
+            shared["topo_parsed"] = TBONTopology.from_jsonable(wire)
+            shared["be_positions"] = shared["topo_parsed"].backends()
+        topo_l = shared["topo_parsed"]
+        if shared.get("placement_wire") is not info:
+            shared["placement_wire"] = info
+            shared["placement_names"] = {
+                int(k): v for k, v in info["placement"].items()}
+        placement_names = shared["placement_names"]
+        my_pos = shared["be_positions"][ctx.rank]
         parent_pos = topo_l.parent[my_pos]
         parent_node = cluster.node(placement_names[parent_pos])
         yield from cluster.network.connect(ctx.node, parent_node)

@@ -37,16 +37,30 @@ class TBONTopology:
         n = len(self.parent)
         if len(self.kind) != n:
             raise TopologyError("parent/kind length mismatch")
+        # one O(n) pass builds the child lists the queries (and the leaf
+        # validation below) read; per-call recomputation made topology
+        # construction O(n^2) and dominated large-scale launch profiles
+        kids: list[list[int]] = [[] for _ in range(n)]
         for p in range(1, n):
             par = self.parent[p]
             if par is None or not 0 <= par < n or par == p:
                 raise TopologyError(f"bad parent for position {p}: {par}")
+            kids[par].append(p)
         for p in range(n):
-            is_leaf = not self.children(p)
+            is_leaf = not kids[p]
             if is_leaf and p != 0 and self.kind[p] != "be":
                 raise TopologyError(f"leaf position {p} is {self.kind[p]}")
             if not is_leaf and self.kind[p] == "be":
                 raise TopologyError(f"internal position {p} is a back end")
+        # frozen dataclass: stash the derived indexes via object.__setattr__
+        # (instance state only -- field-based __eq__/__hash__ are unaffected)
+        object.__setattr__(self, "_kids", tuple(tuple(k) for k in kids))
+        object.__setattr__(
+            self, "_backends",
+            tuple(p for p in range(n) if self.kind[p] == "be"))
+        object.__setattr__(
+            self, "_comms",
+            tuple(p for p in range(n) if self.kind[p] == "comm"))
 
     # -- queries ------------------------------------------------------------
     @property
@@ -54,13 +68,13 @@ class TBONTopology:
         return len(self.parent)
 
     def children(self, p: int) -> list[int]:
-        return [q for q in range(self.size) if self.parent[q] == p]
+        return list(self._kids[p])
 
     def backends(self) -> list[int]:
-        return [p for p in range(self.size) if self.kind[p] == "be"]
+        return list(self._backends)
 
     def comm_positions(self) -> list[int]:
-        return [p for p in range(self.size) if self.kind[p] == "comm"]
+        return list(self._comms)
 
     def depth(self) -> int:
         best = 0
