@@ -1,40 +1,79 @@
 #!/usr/bin/env python3
 """Check that every relative markdown link in docs/ and README.md resolves.
 
-Scans ``[text](target)`` links; external targets (http/https/mailto) and
-pure in-page anchors (``#...``) are skipped, everything else must name an
-existing file relative to the page that links it (a ``#fragment`` suffix
-is stripped first). Exits non-zero listing every broken link, so CI fails
-when a doc page is renamed without fixing its inbound references.
+Scans ``[text](target)`` links; external targets (http/https/mailto) are
+skipped, everything else must name an existing file relative to the page
+that links it. Anchors are verified too: a pure in-page ``#fragment`` and
+the ``page.md#fragment`` suffix of a cross-page link must both match a
+heading slug (GitHub's lowercase/hyphenated scheme, duplicate headings
+numbered ``-1``, ``-2``, ...) in the target page. Exits non-zero listing
+every broken link, so CI fails when a doc page or section is renamed
+without fixing its inbound references.
 
 Usage: python scripts/check_doc_links.py [page.md ...]
-       (no arguments: README.md + docs/*.md)
+       (no arguments: README.md + every page under docs/, subdirectories
+       included)
 """
 
 from __future__ import annotations
 
 import re
 import sys
+from functools import lru_cache
 from pathlib import Path
 
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*#*\s*$", re.M)
+HTML_ANCHOR = re.compile(r"<a\s+(?:name|id)=[\"']([^\"']+)[\"']")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def _strip_fences(text: str) -> str:
+    # fenced code blocks hold example syntax, not navigable links
+    return re.sub(r"```.*?```", "", text, flags=re.S)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line (sans duplicate suffix)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code -> bare text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> label
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+@lru_cache(maxsize=None)
+def page_anchors(page: Path) -> frozenset:
+    """Every anchor ``page`` exposes: heading slugs + explicit <a name>."""
+    text = _strip_fences(page.read_text(encoding="utf-8"))
+    anchors = set()
+    seen: dict = {}
+    for match in HEADING.finditer(text):
+        slug = github_slug(match.group(1))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    anchors.update(HTML_ANCHOR.findall(text))
+    return frozenset(anchors)
 
 
 def broken_links(page: Path) -> list[str]:
     broken = []
-    text = page.read_text(encoding="utf-8")
-    # fenced code blocks hold example syntax, not navigable links
-    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    text = _strip_fences(page.read_text(encoding="utf-8"))
     for match in LINK.finditer(text):
         target = match.group(1)
         if target.startswith(SKIP_PREFIXES):
             continue
-        path = target.split("#", 1)[0]
-        if not path:
-            continue
-        if not (page.parent / path).exists():
+        path, _, fragment = target.partition("#")
+        dest = page if not path else (page.parent / path)
+        if not dest.exists():
             broken.append(f"{page}: broken link -> {target}")
+            continue
+        if fragment and dest.suffix == ".md":
+            if fragment not in page_anchors(dest.resolve()):
+                broken.append(
+                    f"{page}: broken anchor -> {target} "
+                    f"(no heading slugs to '#{fragment}' in {dest.name})")
     return broken
 
 
@@ -42,7 +81,7 @@ def main(argv: list[str]) -> int:
     root = Path(__file__).resolve().parent.parent
     pages = ([Path(a) for a in argv]
              if argv else [root / "README.md", *sorted(
-                 (root / "docs").glob("*.md"))])
+                 (root / "docs").rglob("*.md"))])
     failures: list[str] = []
     for page in pages:
         failures.extend(broken_links(page))

@@ -1,0 +1,20 @@
+#!/usr/bin/env python3
+"""Scalability-fault check: ladder, fit exponents, compare to baselines.
+
+Thin launcher for :mod:`repro.analysis.scalecheck` (methodology:
+``docs/analysis.md``). Exits 1 on a super-linear regression versus the
+committed ``analysis/baselines/*.json``, 2 when a baseline is missing.
+
+Usage: python scripts/scalecheck.py [fig6 str] [--quick] [--jobs N]
+           [--json report.json] [--write-baselines]
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.scalecheck import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,20 @@
+#!/usr/bin/env python3
+"""Lint simulator-driven code for determinism/scalability hazards.
+
+Thin launcher for :mod:`repro.analysis.simlint` (rule catalog and
+suppression syntax: ``docs/analysis.md``). Exits non-zero on any finding,
+so CI fails when a hazard lands.
+
+Usage: python scripts/simlint.py [paths ...] [--json out.json]
+       (no paths: lint src/)
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.simlint import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

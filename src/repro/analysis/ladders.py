@@ -1,0 +1,136 @@
+"""Geometric scale ladders over the experiment runners.
+
+A :class:`Ladder` names an experiment, a module-level point function (the
+same picklable-contract as :func:`repro.experiments.sweep.map_grid` point
+functions, so ladders parallelize with ``--jobs``) and the geometric
+scale tiers scalecheck runs it at. Each point returns a flat ``{metric:
+value}`` dict mixing three metric kinds:
+
+* **virtual** -- per-phase simulated seconds (``LaunchReport`` phases for
+  launch ladders, ``WaveTiming`` phase totals for stream ladders) plus
+  the virtual total. Deterministic per seed: exponents reproduce to
+  machine epsilon across runs and machines.
+* **count** -- kernel event counts (:attr:`SimStats.events`): how much
+  *work* the simulation itself did, also deterministic.
+* **wall** -- real seconds for the whole point (``wall_s``). The only
+  kind that sees the host machine, and the one that catches wall-clock
+  O(N^2) regressions invisible in virtual time -- the exact class PR 5
+  purged (per-daemon topology re-parses, cacheless ``children_of``).
+
+The quick tiers are sized so an O(N^2)-class fault dominates the top of
+the ladder (detectable by extrapolation) while the whole ladder stays a
+few seconds of CI time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Optional, Sequence
+
+from repro.experiments.sweep import map_grid
+
+__all__ = ["LADDERS", "Ladder", "collect_samples", "fig6_ladder_point",
+           "str_ladder_point"]
+
+
+def fig6_ladder_point(n: int) -> dict:
+    """Launch-path point: one fig6 LaunchMON startup at ``n`` daemons."""
+    from repro.experiments.fig6 import measure_stat_startup
+
+    # harness measurement bracketing a whole simulator run, never read
+    # inside one
+    t0 = perf_counter()  # simlint: allow[wall-clock]
+    box = measure_stat_startup(n, "launchmon", tasks_per_daemon=1)
+    wall = perf_counter() - t0  # simlint: allow[wall-clock]
+    report = box["startup"]
+    metrics = dict(report.phases())
+    metrics["virtual_total"] = report.total
+    metrics["sim_events"] = float(box["sim_events"])
+    metrics["wall_s"] = wall
+    return metrics
+
+
+def str_ladder_point(n: int) -> dict:
+    """Data-plane point: a sustained stream over ``n`` leaves."""
+    from repro.experiments.streaming import measure_stream
+
+    t0 = perf_counter()  # simlint: allow[wall-clock]
+    cell = measure_stream(n, filter_name="histogram", window=4,
+                          credit_limit=4, n_waves=10)
+    wall = perf_counter() - t0  # simlint: allow[wall-clock]
+    metrics = dict(cell["phase_totals"])
+    metrics["virtual_total"] = cell["total_latency"]
+    metrics["sim_events"] = float(cell["sim_events"])
+    metrics["wall_s"] = wall
+    return metrics
+
+
+@dataclass(frozen=True)
+class Ladder:
+    """One experiment's scale ladder for scalecheck."""
+
+    experiment: str
+    #: module-level point function ``(n) -> {metric: value}`` (picklable)
+    point: Callable[[int], dict]
+    #: CI tier -- small enough for minutes, big enough to extrapolate
+    quick_scales: tuple
+    #: local/deep tier
+    full_scales: tuple
+    description: str
+
+    def scales_for(self, quick: bool) -> tuple:
+        return self.quick_scales if quick else self.full_scales
+
+
+LADDERS: dict[str, Ladder] = {
+    "fig6": Ladder(
+        experiment="fig6",
+        point=fig6_ladder_point,
+        quick_scales=(256, 1024, 4096),
+        full_scales=(256, 1024, 4096, 16384),
+        description="STAT startup via LaunchMON (launch-path phases: "
+                    "spawn / image-stage / connect / handshake)",
+    ),
+    "str": Ladder(
+        experiment="str",
+        point=str_ladder_point,
+        quick_scales=(64, 256, 1024),
+        full_scales=(64, 256, 1024, 4096),
+        description="sustained stream waves under credit flow control "
+                    "(data-plane phases: fanin / filter / deliver)",
+    ),
+}
+
+
+def collect_samples(ladder: Ladder,
+                    scales: Optional[Sequence[int]] = None,
+                    jobs: int = 1,
+                    repeats: int = 1) -> list[tuple[int, dict]]:
+    """Run the ladder; return ``[(scale, {metric: value}), ...]``.
+
+    ``repeats > 1`` re-runs every point and keeps the *minimum* wall
+    metric per scale (the standard noise filter for timing) -- virtual
+    and count metrics are deterministic, so the first run's values stand
+    for all repeats (asserted, as a cheap determinism probe).
+    """
+    scales = tuple(scales if scales is not None else ladder.quick_scales)
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    grid = [dict(n=n) for n in scales]
+    rounds = [map_grid(ladder.point, grid, jobs=jobs)
+              for _ in range(repeats)]
+    samples: list[tuple[int, dict]] = []
+    for i, n in enumerate(scales):
+        merged = dict(rounds[0][i])
+        for later in rounds[1:]:
+            for name, value in later[i].items():
+                if name == "wall_s":
+                    merged[name] = min(merged[name], value)
+                elif merged.get(name) != value:
+                    raise AssertionError(
+                        f"{ladder.experiment}@{n}: metric {name!r} is not "
+                        f"deterministic across repeats "
+                        f"({merged.get(name)!r} != {value!r})")
+        samples.append((n, merged))
+    return samples

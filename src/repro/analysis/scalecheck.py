@@ -1,0 +1,421 @@
+"""The scalability-fault detector: fitted exponents vs committed baselines.
+
+Method (ScalAna / *Understanding and Detecting Scalability Faults*,
+PAPERS.md): scalability bugs are invisible at test scale -- a quadratic
+term under a big constant looks flat until the machine is large enough to
+expose it, and then it is a production incident. The detector makes CI see
+them anyway, by extrapolation:
+
+1. run an experiment's ladder (:mod:`repro.analysis.ladders`) at a
+   geometric sequence of scales;
+2. fit every attributed metric's growth exponent
+   (:func:`repro.analysis.fitting.fit_power` -- log-log regression over
+   ``LaunchReport`` phases, ``WaveTiming`` phase totals, kernel event
+   counts and point wall time);
+3. compare against the committed known-good baseline
+   (``analysis/baselines/<experiment>.json``): a metric whose exponent
+   exceeds its baseline by more than the per-kind tolerance is a
+   **regression finding**, and the check fails.
+
+Wall-clock metrics additionally get a *machine-normalized tail ratio*
+check: ``r(n) = fresh(n) / baseline(n)`` cancels a uniformly faster or
+slower host, so ``r(top) / r(bottom)`` isolates scale-dependent slowdown;
+a ratio above :data:`TAIL_RATIO_LIMIT` means the top of the ladder got
+disproportionately slower than the bottom -- the signature of a new
+super-linear term even when the fitted exponent shift stays inside
+tolerance.
+
+Tolerances are per metric *kind*: virtual and count metrics are
+deterministic functions of the seed, so their tolerance is tight; wall
+metrics see host noise, so theirs is loose -- but an O(N) -> O(N^2) fault
+shifts the exponent by ~1, far beyond either.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.fitting import PowerFit, fit_metric_exponents
+from repro.analysis.ladders import LADDERS, Ladder, collect_samples
+
+__all__ = ["CheckResult", "DEFAULT_TOLERANCES", "MIN_SIGNAL", "Regression",
+           "TAIL_RATIO_LIMIT", "compare_to_baseline", "load_baseline",
+           "main", "metric_kind", "run_check", "write_baseline"]
+
+#: exponent slack per metric kind before a shift counts as a regression
+DEFAULT_TOLERANCES = {"virtual": 0.1, "count": 0.1, "wall": 0.35}
+
+#: wall metrics only: fresh/baseline ratio at the ladder top may exceed
+#: the same ratio at the bottom by at most this factor
+TAIL_RATIO_LIMIT = 2.0
+
+#: a metric is only judged when its top-of-ladder value clears this floor
+#: (constant-dominated noise fits garbage exponents)
+MIN_SIGNAL = {"virtual": 1e-9, "count": 1.0, "wall": 0.05}
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+DEFAULT_BASELINE_DIR = _REPO_ROOT / "analysis" / "baselines"
+
+
+def metric_kind(name: str) -> str:
+    """Classify a ladder metric: ``wall`` / ``count`` / ``virtual``."""
+    if name == "wall_s":
+        return "wall"
+    if name == "sim_events":
+        return "count"
+    return "virtual"
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One super-linear regression finding."""
+
+    experiment: str
+    metric: str
+    kind: str
+    check: str  # "exponent" or "tail-ratio"
+    fitted: float
+    baseline: float
+    limit: float
+    detail: str
+
+    def __str__(self) -> str:
+        return (f"{self.experiment}/{self.metric} [{self.kind}] "
+                f"{self.check}: {self.fitted:.3f} vs baseline "
+                f"{self.baseline:.3f} (limit {self.limit:.3f}) -- "
+                f"{self.detail}")
+
+    def as_dict(self) -> dict:
+        return {"experiment": self.experiment, "metric": self.metric,
+                "kind": self.kind, "check": self.check,
+                "fitted": self.fitted, "baseline": self.baseline,
+                "limit": self.limit, "detail": self.detail}
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one experiment's scalecheck run."""
+
+    experiment: str
+    scales: tuple
+    samples: list
+    fits: dict
+    baseline: dict
+    regressions: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def as_dict(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "scales": list(self.scales),
+            "ok": self.ok,
+            "samples": [{"scale": n, "metrics": m}
+                        for n, m in self.samples],
+            "fits": {name: fit.as_dict()
+                     for name, fit in self.fits.items()},
+            "baseline_exponents": {
+                name: spec["exponent"]
+                for name, spec in self.baseline.get("metrics", {}).items()},
+            "regressions": [r.as_dict() for r in self.regressions],
+            "notes": list(self.notes),
+        }
+
+
+# ---------------------------------------------------------------------------
+# baselines
+# ---------------------------------------------------------------------------
+
+def baseline_path(experiment: str,
+                  baseline_dir: Optional[Path] = None) -> Path:
+    return Path(baseline_dir or DEFAULT_BASELINE_DIR) / f"{experiment}.json"
+
+
+def load_baseline(experiment: str,
+                  baseline_dir: Optional[Path] = None) -> dict:
+    """Load a committed baseline; FileNotFoundError names the fix."""
+    path = baseline_path(experiment, baseline_dir)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no committed baseline for {experiment!r} at {path}; "
+            f"generate one with: scripts/scalecheck.py {experiment} "
+            f"--write-baselines")
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _baseline_payload(ladder: Ladder, scales: Sequence[int],
+                      samples: list, fits: dict,
+                      tolerances: dict) -> dict:
+    return {
+        "experiment": ladder.experiment,
+        "description": ladder.description,
+        "scales": list(scales),
+        "tolerances": dict(tolerances),
+        "tail_ratio_limit": TAIL_RATIO_LIMIT,
+        "metrics": {
+            name: {
+                "kind": metric_kind(name),
+                **fit.as_dict(),
+                "values": {str(n): m[name] for n, m in samples
+                           if name in m},
+            }
+            for name, fit in fits.items()
+        },
+    }
+
+
+def write_baseline(experiment: str,
+                   scales: Optional[Sequence[int]] = None,
+                   jobs: int = 1, repeats: int = 1,
+                   baseline_dir: Optional[Path] = None,
+                   tolerances: Optional[dict] = None) -> Path:
+    """Collect a fresh ladder and commit it as the known-good baseline."""
+    ladder = LADDERS[experiment]
+    scales = tuple(scales if scales is not None else ladder.quick_scales)
+    samples = collect_samples(ladder, scales, jobs=jobs, repeats=repeats)
+    fits = fit_metric_exponents(samples)
+    payload = _baseline_payload(ladder, scales, samples, fits,
+                                tolerances or DEFAULT_TOLERANCES)
+    path = baseline_path(experiment, baseline_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# the check
+# ---------------------------------------------------------------------------
+
+def compare_to_baseline(experiment: str, samples: list,
+                        fits: dict, baseline: dict,
+                        tolerances: Optional[dict] = None,
+                        ) -> tuple[list, list]:
+    """Judge fresh fits against a baseline; returns (regressions, notes).
+
+    Pure function of its inputs (no I/O, no simulation) so the decision
+    logic is unit-testable with synthetic fits.
+    """
+    tol = dict(baseline.get("tolerances", DEFAULT_TOLERANCES))
+    if tolerances:
+        tol.update(tolerances)
+    tail_limit = baseline.get("tail_ratio_limit", TAIL_RATIO_LIMIT)
+    base_metrics = baseline.get("metrics", {})
+    values_at = {name: {n: m[name] for n, m in samples if name in m}
+                 for name in fits}
+
+    regressions: list[Regression] = []
+    notes: list[str] = []
+
+    for name, spec in base_metrics.items():
+        if name not in fits:
+            notes.append(
+                f"baseline metric {name!r} has no fit in this run "
+                f"(phase inactive or ladder too short) -- not judged")
+            continue
+        kind = spec.get("kind", metric_kind(name))
+        fit: PowerFit = fits[name]
+        fresh = values_at[name]
+        top_value = max(fresh.values(), default=0.0)
+        if top_value < MIN_SIGNAL.get(kind, 0.0):
+            notes.append(
+                f"{name!r} below the {kind} signal floor "
+                f"({top_value:.4g} < {MIN_SIGNAL.get(kind)}) -- not judged")
+            continue
+
+        limit = spec["exponent"] + tol.get(kind, 0.0)
+        if fit.exponent > limit:
+            regressions.append(Regression(
+                experiment=experiment, metric=name, kind=kind,
+                check="exponent", fitted=fit.exponent,
+                baseline=spec["exponent"], limit=limit,
+                detail=f"growth exponent rose by "
+                       f"{fit.exponent - spec['exponent']:+.3f} "
+                       f"(tolerance {tol.get(kind)})"))
+
+        if kind == "wall":
+            base_values = {int(n): v for n, v in
+                           spec.get("values", {}).items()}
+            # anchor the ratio only on scales whose *baseline* wall time
+            # clears the signal floor: a 0.03s bottom-of-ladder point is
+            # scheduler noise, and dividing by it manufactures failures
+            floor = MIN_SIGNAL.get("wall", 0.0)
+            common = sorted(n for n in set(fresh) & set(base_values)
+                            if base_values[n] >= floor)
+            if len(common) < 2:
+                notes.append(
+                    f"{name!r}: fewer than two baseline scales above the "
+                    f"signal floor in common with this ladder -- "
+                    f"tail-ratio check skipped")
+            else:
+                lo, hi = common[0], common[-1]
+                if base_values[lo] > 0 and base_values[hi] > 0 \
+                        and fresh[lo] > 0:
+                    r_lo = fresh[lo] / base_values[lo]
+                    r_hi = fresh[hi] / base_values[hi]
+                    ratio = r_hi / r_lo
+                    if ratio > tail_limit:
+                        regressions.append(Regression(
+                            experiment=experiment, metric=name,
+                            kind=kind, check="tail-ratio",
+                            fitted=ratio, baseline=1.0,
+                            limit=tail_limit,
+                            detail=f"top-of-ladder ({hi}) slowed "
+                                   f"{r_hi:.2f}x vs baseline while the "
+                                   f"bottom ({lo}) slowed {r_lo:.2f}x -- "
+                                   f"scale-dependent slowdown"))
+
+    for name in fits:
+        if name not in base_metrics:
+            notes.append(
+                f"new metric {name!r} (exponent "
+                f"{fits[name].exponent:.3f}) absent from the baseline -- "
+                f"re-write baselines to start judging it")
+    return regressions, notes
+
+
+def run_check(experiment: str,
+              scales: Optional[Sequence[int]] = None,
+              jobs: int = 1, repeats: int = 1,
+              baseline_dir: Optional[Path] = None,
+              tolerances: Optional[dict] = None) -> CheckResult:
+    """Collect, fit and judge one experiment ladder against its baseline.
+
+    ``scales=None`` replays the baseline's own ladder (the configuration
+    the committed exponents were fitted on, and the one that keeps the
+    tail-ratio check armed).
+    """
+    ladder = LADDERS[experiment]
+    baseline = load_baseline(experiment, baseline_dir)
+    if scales is None:
+        scales = tuple(baseline.get("scales", ladder.quick_scales))
+    scales = tuple(scales)
+    samples = collect_samples(ladder, scales, jobs=jobs, repeats=repeats)
+    fits = fit_metric_exponents(samples)
+    regressions, notes = compare_to_baseline(
+        experiment, samples, fits, baseline, tolerances)
+    return CheckResult(experiment=experiment, scales=scales,
+                       samples=samples, fits=fits, baseline=baseline,
+                       regressions=regressions, notes=notes)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def _format_result(result: CheckResult) -> str:
+    lines = [f"== scalecheck {result.experiment} "
+             f"(ladder {'/'.join(str(n) for n in result.scales)}): "
+             f"{'ok' if result.ok else 'REGRESSION'}"]
+    base = result.baseline.get("metrics", {})
+    for name, fit in sorted(result.fits.items()):
+        ref = base.get(name, {}).get("exponent")
+        ref_s = f"{ref:7.3f}" if ref is not None else "    new"
+        lines.append(
+            f"   {name:<16} exponent {fit.exponent:7.3f}  baseline "
+            f"{ref_s}  r2 {fit.r2:5.3f} [{metric_kind(name)}]")
+    for note in result.notes:
+        lines.append(f"   note: {note}")
+    for reg in result.regressions:
+        lines.append(f"   FAIL: {reg}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="scalecheck",
+        description="Fit per-phase complexity exponents over a geometric "
+                    "scale ladder and fail on super-linear regression "
+                    "versus the committed baselines.")
+    parser.add_argument("experiments", nargs="*",
+                        help=f"ladders to run (default: all of "
+                             f"{', '.join(sorted(LADDERS))})")
+    parser.add_argument("--quick", action="store_true",
+                        help="use the quick (CI) ladder tiers")
+    parser.add_argument("--full", action="store_true",
+                        help="use the full ladder tiers")
+    parser.add_argument("--scales", type=str, default=None,
+                        help="comma-separated explicit ladder, e.g. "
+                             "256,1024,4096")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parallelize ladder points over N workers")
+    parser.add_argument("--repeats", type=int, default=1, metavar="R",
+                        help="re-run each point R times, keep min wall")
+    parser.add_argument("--baseline-dir", type=Path, default=None,
+                        help=f"baseline directory (default "
+                             f"{DEFAULT_BASELINE_DIR})")
+    parser.add_argument("--write-baselines", action="store_true",
+                        help="record fresh fits as the new known-good "
+                             "baselines instead of checking")
+    parser.add_argument("--json", type=Path, default=None, metavar="PATH",
+                        help="write the fitted-exponent report as JSON")
+    parser.add_argument("--tolerance-wall", type=float, default=None)
+    parser.add_argument("--tolerance-virtual", type=float, default=None)
+    parser.add_argument("--tolerance-count", type=float, default=None)
+    args = parser.parse_args(argv)
+
+    if args.quick and args.full:
+        parser.error("--quick conflicts with --full")
+    names = args.experiments or sorted(LADDERS)
+    unknown = [n for n in names if n not in LADDERS]
+    if unknown:
+        parser.error(f"unknown experiment(s) {', '.join(unknown)} "
+                     f"(have: {', '.join(sorted(LADDERS))})")
+    tolerances = {kind: value for kind, value in (
+        ("wall", args.tolerance_wall),
+        ("virtual", args.tolerance_virtual),
+        ("count", args.tolerance_count)) if value is not None}
+
+    def scales_for(ladder: Ladder):
+        if args.scales:
+            return tuple(int(s) for s in args.scales.split(","))
+        if args.quick:
+            return ladder.quick_scales
+        if args.full:
+            return ladder.full_scales
+        return None  # run_check: follow the baseline's ladder
+
+    if args.write_baselines:
+        for name in names:
+            scales = scales_for(LADDERS[name]) or LADDERS[name].quick_scales
+            path = write_baseline(
+                name, scales, jobs=args.jobs, repeats=args.repeats,
+                baseline_dir=args.baseline_dir,
+                tolerances={**DEFAULT_TOLERANCES, **tolerances})
+            print(f"wrote baseline {path}")
+        return 0
+
+    results = []
+    for name in names:
+        try:
+            result = run_check(
+                name, scales_for(LADDERS[name]), jobs=args.jobs,
+                repeats=args.repeats, baseline_dir=args.baseline_dir,
+                tolerances=tolerances or None)
+        except FileNotFoundError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        results.append(result)
+        print(_format_result(result))
+
+    if args.json:
+        payload = {"ok": all(r.ok for r in results),
+                   "experiments": {r.experiment: r.as_dict()
+                                   for r in results}}
+        args.json.write_text(json.dumps(payload, indent=2) + "\n",
+                             encoding="utf-8")
+    failed = [r.experiment for r in results if not r.ok]
+    if failed:
+        print(f"scalecheck: super-linear regression in "
+              f"{', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"scalecheck: {len(results)} ladder(s) ok")
+    return 0

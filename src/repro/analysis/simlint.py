@@ -1,0 +1,397 @@
+"""simlint: AST lint rules for the project's simulation invariants.
+
+Generic linters know nothing about a discrete-event simulator's contract,
+so the invariants the whole stack depends on regress silently: one
+``time.time()`` in a daemon body and runs stop being reproducible; one
+``list.remove`` back in a kernel hot path and the O(N^2) class PR 5
+purged is back at 64k daemons. This pass encodes those project rules over
+the AST:
+
+``wall-clock``
+    No wall-clock reads (``time.time``/``perf_counter``/``monotonic``/...)
+    anywhere in simulator-driven code. Virtual time comes from
+    ``sim.now``; the only sanctioned wall-clock uses are *observational*
+    (kernel stats, harness measurement around a whole run) and carry an
+    inline suppression.
+
+``unseeded-random``
+    No global-RNG ``random.*`` calls and no seedless ``random.Random()``.
+    Randomness must flow from the seeded per-subsystem streams
+    (:mod:`repro.simx.rng`), or two runs with one seed diverge.
+
+``linear-scan``
+    No ``.remove(x)`` / ``.pop(0)`` / ``.insert(0, ...)`` in the
+    registered hot-path modules (:data:`HOT_PATH_MODULES`) -- each is an
+    O(N) scan or shift that a launch storm multiplies into O(N^2)
+    (``Process.interrupt``'s old ``list.remove`` was exactly this).
+    ``set.remove(...)`` via the explicit class is exempt (O(1)).
+
+``sweep-pickle``
+    Point functions handed to :func:`repro.experiments.sweep.map_grid`
+    must be module-level: a lambda or nested def pickles with ``--jobs N``
+    only until someone runs it, i.e. it fails exactly when the sweep
+    engine is used as designed.
+
+``blocking-io``
+    No blocking I/O (``open``/``input``/``time.sleep``/``subprocess``/
+    ``socket``/...) inside generator functions -- generators in this
+    codebase are simx :class:`~repro.simx.Process` bodies, and a real
+    block inside one stalls the virtual clock for every simulated node
+    at once.
+
+Suppression: append ``# simlint: allow[rule]`` (or ``allow[r1,r2]``, or
+bare ``# simlint: allow`` for all rules) to the flagged line, ideally
+with a short justification after it. Suppressions are per-line and per
+physical line of the call's ``lineno``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["Finding", "HOT_PATH_MODULES", "RULES", "lint_file",
+           "lint_paths", "lint_source", "main"]
+
+RULES = {
+    "wall-clock": "wall-clock read in simulator-driven code (use sim.now; "
+                  "observational uses need an inline allow)",
+    "unseeded-random": "global/unseeded random (use the seeded "
+                       "repro.simx.rng streams)",
+    "linear-scan": "O(N) list scan/shift in a registered hot-path module",
+    "sweep-pickle": "map_grid point function is not module-level picklable",
+    "blocking-io": "blocking I/O inside a simx process (generator) body",
+}
+
+#: modules the kernel/launch hot path runs through: the places where an
+#: O(N) scan per event/packet/allocation compounds to O(N^2) at scale
+#: (the PR-5 fix sites). Paths are suffix-matched posix-style.
+HOT_PATH_MODULES = (
+    "repro/simx/core.py",
+    "repro/simx/channels.py",
+    "repro/tbon/overlay.py",
+    "repro/tbon/flow.py",
+    "repro/cluster/node.py",
+    "repro/rm/base.py",
+)
+
+_WALL_CLOCK_CALLS = frozenset(
+    f"time.{fn}" for fn in (
+        "time", "time_ns", "perf_counter", "perf_counter_ns",
+        "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+        "clock"))
+
+_GLOBAL_RNG_CALLS = frozenset(
+    f"random.{fn}" for fn in (
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "normalvariate", "expovariate",
+        "betavariate", "triangular", "getrandbits", "seed", "vonmisesvariate",
+        "paretovariate", "weibullvariate", "lognormvariate"))
+
+_BLOCKING_CALLS = frozenset({
+    "time.sleep", "os.system", "os.popen", "os.wait", "os.waitpid",
+    "socket.socket", "socket.create_connection", "open", "input",
+    "select.select",
+})
+_BLOCKING_PREFIXES = ("subprocess.", "requests.", "urllib.request.",
+                      "http.client.")
+
+_SUPPRESS = re.compile(
+    r"#\s*simlint:\s*allow(?:\[(?P<rules>[a-z\-, ]+)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] " \
+               f"{self.message}"
+
+    def as_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "message": self.message}
+
+
+def _suppressed(source_lines: Sequence[str], lineno: int,
+                rule: str) -> bool:
+    if not 1 <= lineno <= len(source_lines):
+        return False
+    match = _SUPPRESS.search(source_lines[lineno - 1])
+    if match is None:
+        return False
+    rules = match.group("rules")
+    if rules is None:
+        return True
+    return rule in {r.strip() for r in rules.split(",")}
+
+
+def _scan_yields(fn: ast.AST) -> bool:
+    """True if the function's own body yields (nested scopes excluded)."""
+    class _Scan(ast.NodeVisitor):
+        found = False
+
+        def visit_FunctionDef(self, node):
+            if node is not fn:
+                return  # new scope: stop
+            self.generic_visit(node)
+
+        visit_AsyncFunctionDef = visit_FunctionDef
+
+        def visit_Lambda(self, node):
+            return
+
+        def visit_Yield(self, node):
+            self.found = True
+
+        def visit_YieldFrom(self, node):
+            self.found = True
+
+    scan = _Scan()
+    scan.visit(fn)
+    return scan.found
+
+
+class _ModuleLint(ast.NodeVisitor):
+    """One module's lint pass (see the rule catalog in the module doc)."""
+
+    def __init__(self, path: str, source_lines: Sequence[str],
+                 hot: bool):
+        self.path = path
+        self.source_lines = source_lines
+        self.hot = hot
+        self.findings: list[Finding] = []
+        #: name -> fully dotted origin ("t" -> "time",
+        #: "sleep" -> "time.sleep")
+        self.aliases: dict[str, str] = {}
+        self.module_defs: set[str] = set()
+        self.nested_defs: set[str] = set()
+        self._func_depth = 0
+        self._generator_depth = 0
+
+    # -- bookkeeping -----------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = \
+                alias.name if alias.asname else alias.name.split(".")[0]
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    def _visit_funcdef(self, node) -> None:
+        if self._func_depth == 0:
+            self.module_defs.add(node.name)
+        else:
+            self.nested_defs.add(node.name)
+        is_gen = _scan_yields(node)
+        self._func_depth += 1
+        if is_gen:
+            self._generator_depth += 1
+        self.generic_visit(node)
+        if is_gen:
+            self._generator_depth -= 1
+        self._func_depth -= 1
+
+    def visit_FunctionDef(self, node):  # noqa: N802
+        self._visit_funcdef(node)
+
+    def visit_AsyncFunctionDef(self, node):  # noqa: N802
+        self._visit_funcdef(node)
+
+    # -- resolution ------------------------------------------------------
+    def _dotted(self, node: ast.AST) -> Optional[str]:
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            root = self.aliases.get(node.id, node.id)
+            return ".".join([root, *reversed(parts)])
+        return None
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        if _suppressed(self.source_lines, node.lineno, rule):
+            return
+        self.findings.append(Finding(
+            path=self.path, line=node.lineno, col=node.col_offset,
+            rule=rule, message=message))
+
+    # -- the rules -------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self._dotted(node.func)
+
+        if dotted in _WALL_CLOCK_CALLS:
+            self._report(node, "wall-clock",
+                         f"{dotted}() reads the wall clock; simulated "
+                         f"code must use sim.now")
+
+        if dotted in _GLOBAL_RNG_CALLS:
+            self._report(node, "unseeded-random",
+                         f"{dotted}() draws from the global RNG; use a "
+                         f"seeded repro.simx.rng stream")
+        elif dotted == "random.Random" and not node.args:
+            self._report(node, "unseeded-random",
+                         "random.Random() without a seed is "
+                         "OS-entropy-seeded; pass an explicit seed")
+
+        if self._generator_depth > 0 and dotted is not None:
+            if dotted in _BLOCKING_CALLS or \
+                    dotted.startswith(_BLOCKING_PREFIXES):
+                self._report(node, "blocking-io",
+                             f"{dotted}() blocks the worker thread inside "
+                             f"a simx process body; model the delay with "
+                             f"sim.timeout() instead")
+
+        if self.hot and isinstance(node.func, ast.Attribute):
+            receiver = node.func.value
+            attr = node.func.attr
+            recv_is_set_class = (isinstance(receiver, ast.Name)
+                                 and receiver.id == "set")
+            if attr == "remove" and not recv_is_set_class:
+                self._report(node, "linear-scan",
+                             ".remove() scans its sequence; hot-path "
+                             "modules need an O(1) structure (tombstone, "
+                             "set, index)")
+            elif attr == "pop" and node.args and \
+                    isinstance(node.args[0], ast.Constant) and \
+                    node.args[0].value == 0:
+                self._report(node, "linear-scan",
+                             ".pop(0) shifts the whole list; use "
+                             "collections.deque")
+            elif attr == "insert" and node.args and \
+                    isinstance(node.args[0], ast.Constant) and \
+                    node.args[0].value == 0:
+                self._report(node, "linear-scan",
+                             ".insert(0, ...) shifts the whole list; use "
+                             "collections.deque")
+
+        if dotted is not None and \
+                (dotted == "map_grid" or dotted.endswith(".map_grid")):
+            self._check_sweep_point(node)
+
+        self.generic_visit(node)
+
+    def _check_sweep_point(self, node: ast.Call) -> None:
+        if not node.args:
+            return
+        point = node.args[0]
+        if isinstance(point, ast.Lambda):
+            self._report(node, "sweep-pickle",
+                         "map_grid point function is a lambda; lambdas "
+                         "don't pickle, so --jobs N breaks")
+        elif isinstance(point, ast.Name):
+            name = point.id
+            if name in self.nested_defs and name not in self.module_defs:
+                self._report(node, "sweep-pickle",
+                             f"map_grid point function {name!r} is a "
+                             f"nested def; workers can't import it by "
+                             f"qualified name, so --jobs N breaks")
+
+
+def _is_hot(path: Path, hot_paths: Iterable[str]) -> bool:
+    posix = path.resolve().as_posix()
+    return any(posix.endswith(suffix) for suffix in hot_paths)
+
+
+def lint_source(source: str, path: str = "<string>",
+                hot: Optional[bool] = None,
+                hot_paths: Iterable[str] = HOT_PATH_MODULES,
+                ) -> list[Finding]:
+    """Lint one module's source text; returns its findings in file order.
+
+    ``hot=None`` decides hot-path membership from ``path`` against
+    ``hot_paths``; pass ``hot=True``/``False`` to force (fixture tests).
+    """
+    if hot is None:
+        hot = _is_hot(Path(path), hot_paths)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path=path, line=exc.lineno or 1,
+                        col=exc.offset or 0, rule="syntax",
+                        message=f"cannot parse: {exc.msg}")]
+    linter = _ModuleLint(path, source.splitlines(), hot)
+    linter.visit(tree)
+    return sorted(linter.findings, key=lambda f: (f.line, f.col, f.rule))
+
+
+def lint_file(path: Path, hot: Optional[bool] = None,
+              hot_paths: Iterable[str] = HOT_PATH_MODULES,
+              ) -> list[Finding]:
+    return lint_source(path.read_text(encoding="utf-8"), str(path),
+                       hot=hot, hot_paths=hot_paths)
+
+
+def lint_paths(paths: Iterable[Path],
+               hot_paths: Iterable[str] = HOT_PATH_MODULES,
+               ) -> list[Finding]:
+    """Lint every ``*.py`` under the given files/directories."""
+    findings: list[Finding] = []
+    for root in paths:
+        root = Path(root)
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            findings.extend(lint_file(file, hot_paths=hot_paths))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description="Lint simulator-driven code for determinism and "
+                    "scalability hazards (rule catalog: docs/analysis.md).")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files/directories to lint (default: src/)")
+    parser.add_argument("--hot", action="append", default=[],
+                        metavar="SUFFIX",
+                        help="treat modules matching this path suffix as "
+                             "hot-path (adds to the built-in registry)")
+    parser.add_argument("--json", type=Path, default=None, metavar="PATH",
+                        help="also write findings as JSON")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule:<16} {desc}")
+        return 0
+
+    paths = args.paths or [_REPO_ROOT / "src"]
+    hot_paths = tuple(HOT_PATH_MODULES) + tuple(args.hot)
+    findings = lint_paths(paths, hot_paths=hot_paths)
+    for finding in findings:
+        print(finding, file=sys.stderr)
+    if args.json:
+        args.json.write_text(json.dumps(
+            {"ok": not findings,
+             "findings": [f.as_dict() for f in findings]},
+            indent=2) + "\n", encoding="utf-8")
+    n_files = sum(len(sorted(p.rglob('*.py'))) if Path(p).is_dir() else 1
+                  for p in paths)
+    print(f"simlint: {n_files} file(s) checked, "
+          f"{len(findings)} finding(s)")
+    return 1 if findings else 0

@@ -50,6 +50,9 @@ def measure_stat_startup(n_daemons: int, mechanism: str,
             box["spawned"] = exc.spawned
 
     drive(env, scenario(env))
+    # kernel work done for this point -- scalecheck fits its growth
+    # exponent alongside the virtual phase totals
+    box["sim_events"] = env.sim.stats.events
     return box
 
 

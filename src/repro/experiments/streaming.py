@@ -138,6 +138,7 @@ def measure_stream(n_leaves: int, filter_name: str = "histogram",
         "final_state": stream.state_at(0),
         "report": report.as_dict(),
         "waves": waves,
+        "sim_events": env.sim.stats.events,
     }
 
 

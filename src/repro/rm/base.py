@@ -198,6 +198,7 @@ class _ObservedBlacklist(set):
             self._rm._index_unban(name)
 
     def remove(self, name: str) -> None:
+        # set subclass: O(1) hash removal, not a list scan
         set.remove(self, name)  # raises KeyError if absent
         self._rm._index_unban(name)
 
@@ -211,7 +212,7 @@ class _ObservedBlacklist(set):
         if not self:
             raise KeyError("pop from an empty blacklist")
         name = next(iter(self))
-        self.remove(name)
+        self.remove(name)  # simlint: allow[linear-scan] -- set subclass, O(1)
         return name
 
     def difference_update(self, *others) -> None:
@@ -410,7 +411,9 @@ class ResourceManager:
             # withdraw the request / return the nodes so the queue cannot
             # hold entries nobody will ever consume
             try:
-                self._alloc_waiters.remove(entry)
+                # rare abort path; the waiter queue stays short
+                # (bounded by concurrent allocators)
+                self._alloc_waiters.remove(entry)  # simlint: allow[linear-scan]
             except ValueError:
                 if grant.triggered:
                     self.release(grant.value)

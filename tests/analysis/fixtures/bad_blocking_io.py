@@ -1,0 +1,26 @@
+"""simlint fixture: blocking I/O inside simx process bodies (3 findings)."""
+
+import subprocess
+import time
+
+
+def daemon_body(sim, path):
+    time.sleep(0.1)
+    with open(path) as fh:  # noqa: SIM115
+        fh.read()
+    subprocess.run(["hostname"])
+    yield sim.timeout(1.0)
+
+
+def plain_helper(path):
+    # not a generator: blocking calls are fine in harness code
+    with open(path) as fh:
+        return fh.read()
+
+
+def outer_with_nested_generator(path):
+    def inner(sim):
+        yield sim.timeout(1.0)
+
+    # the *outer* function is no generator; open() here is fine
+    return open(path).read(), inner

@@ -1,0 +1,22 @@
+"""simlint fixture: O(N) scans/shifts; lint with hot=True (3 findings)."""
+
+
+class Queue:
+    def __init__(self):
+        self.waiters = []
+
+    def cancel(self, proc):
+        self.waiters.remove(proc)
+
+    def take(self):
+        return self.waiters.pop(0)
+
+    def push_front(self, proc):
+        self.waiters.insert(0, proc)
+
+    def take_last(self):
+        return self.waiters.pop()  # pop() from the end is O(1): allowed
+
+
+def drop(names, name):
+    set.remove(names, name)  # explicit set class: O(1), exempt

@@ -1,0 +1,20 @@
+"""simlint fixture: unpicklable map_grid point functions (2 findings)."""
+
+from repro.experiments.sweep import map_grid
+
+
+def module_level_point(n):
+    return {"n": n}
+
+
+def run_bad_sweeps(grid):
+    def nested_point(n):
+        return {"n": n * 2}
+
+    rows = map_grid(lambda n: {"n": n}, grid, jobs=4)
+    rows += map_grid(nested_point, grid, jobs=4)
+    return rows
+
+
+def run_good_sweep(grid):
+    return map_grid(module_level_point, grid, jobs=4)

@@ -1,0 +1,16 @@
+"""simlint fixture: global / unseeded RNG draws (3 findings)."""
+
+import random
+from random import randint
+
+
+def jitter():
+    base = random.random()
+    extra = randint(0, 3)
+    rng = random.Random()  # unseeded: OS entropy, non-reproducible
+    return base + extra + rng.random()
+
+
+def seeded_is_fine():
+    rng = random.Random(42)  # explicit seed: allowed
+    return rng.random()

@@ -1,0 +1,12 @@
+"""simlint fixture: wall-clock reads in simulated code (3 findings)."""
+
+import time
+from time import perf_counter as pc
+
+import repro  # noqa: F401  -- looks like simulator-driven code
+
+
+def phase_cost():
+    t0 = time.time()
+    t1 = pc()
+    return time.monotonic() - t1 - t0

@@ -1,0 +1,90 @@
+"""fit_power / fit_metric_exponents: the log-log regression layer."""
+
+import math
+
+import pytest
+
+from repro.analysis.fitting import PowerFit, fit_metric_exponents, fit_power
+
+
+class TestFitPower:
+    def test_recovers_exact_power_law(self):
+        ns = [64, 256, 1024, 4096]
+        fit = fit_power(ns, [3.0 * n ** 2 for n in ns])
+        assert fit.exponent == pytest.approx(2.0)
+        assert fit.coeff == pytest.approx(3.0)
+        assert fit.r2 == pytest.approx(1.0)
+        assert fit.n_points == 4
+
+    def test_recovers_linear_and_sublinear(self):
+        ns = [16, 64, 256]
+        assert fit_power(ns, [0.5 * n for n in ns]).exponent == \
+            pytest.approx(1.0)
+        assert fit_power(ns, [math.sqrt(n) for n in ns]).exponent == \
+            pytest.approx(0.5)
+
+    def test_constant_metric_fits_zero_exponent(self):
+        fit = fit_power([16, 64, 256], [7.0, 7.0, 7.0])
+        assert fit.exponent == pytest.approx(0.0)
+        assert fit.coeff == pytest.approx(7.0)
+
+    def test_predict_round_trips(self):
+        ns = [256, 1024, 4096]
+        fit = fit_power(ns, [1e-4 * n ** 1.5 for n in ns])
+        assert fit.predict(16384) == pytest.approx(1e-4 * 16384 ** 1.5,
+                                                   rel=1e-6)
+
+    def test_noise_lowers_r2_not_much_the_exponent(self):
+        ns = [64, 256, 1024, 4096]
+        wobble = [1.07, 0.95, 1.04, 0.98]  # +-7% host noise
+        fit = fit_power(ns, [w * 2e-5 * n for w, n in zip(wobble, ns)])
+        assert fit.exponent == pytest.approx(1.0, abs=0.05)
+        assert 0.99 < fit.r2 < 1.0
+
+    def test_drops_non_positive_pairs(self):
+        fit = fit_power([0, 64, 256, 1024], [5.0, 64.0, 256.0, 0.0])
+        assert fit.n_points == 2
+        assert fit.exponent == pytest.approx(1.0)
+
+    def test_too_few_positive_points_raises(self):
+        with pytest.raises(ValueError, match="2 positive"):
+            fit_power([64, 256], [1.0, 0.0])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="equal length"):
+            fit_power([64, 256], [1.0])
+
+    def test_identical_scales_raise(self):
+        with pytest.raises(ValueError, match="identical"):
+            fit_power([64, 64], [1.0, 2.0])
+
+    def test_as_dict(self):
+        d = fit_power([2, 4], [2.0, 4.0]).as_dict()
+        assert set(d) == {"coeff", "exponent", "r2", "n_points"}
+
+
+class TestFitMetricExponents:
+    def test_one_fit_per_metric(self):
+        samples = [(n, {"t_spawn": 1e-3 * n, "sim_events": 40.0 * n,
+                        "t_flat": 2.5})
+                   for n in (64, 256, 1024)]
+        fits = fit_metric_exponents(samples)
+        assert set(fits) == {"t_spawn", "sim_events", "t_flat"}
+        assert fits["t_spawn"].exponent == pytest.approx(1.0)
+        assert fits["t_flat"].exponent == pytest.approx(0.0)
+        assert all(isinstance(f, PowerFit) for f in fits.values())
+
+    def test_inactive_phase_is_omitted(self):
+        samples = [(n, {"t_spawn": 1e-3 * n, "t_repair": 0.0})
+                   for n in (64, 256, 1024)]
+        fits = fit_metric_exponents(samples)
+        assert "t_repair" not in fits  # all-zero: no growth information
+        assert "t_spawn" in fits
+
+    def test_metric_missing_at_some_scales_uses_what_exists(self):
+        samples = [(64, {"a": 64.0}), (256, {"a": 256.0, "b": 1.0}),
+                   (1024, {"a": 1024.0, "b": 4.0})]
+        fits = fit_metric_exponents(samples)
+        assert fits["a"].n_points == 3
+        assert fits["b"].n_points == 2
+        assert fits["b"].exponent == pytest.approx(1.0)

@@ -9,13 +9,13 @@ sys.path.insert(0, str(ROOT / "scripts"))
 
 import check_doc_links  # noqa: E402
 
-PAGES = sorted((ROOT / "docs").glob("*.md"))
+PAGES = sorted((ROOT / "docs").rglob("*.md"))
 
 
 def test_docs_tree_exists():
     names = {p.name for p in PAGES}
-    assert {"architecture.md", "experiments.md",
-            "failure-modes.md"} <= names
+    assert {"architecture.md", "experiments.md", "failure-modes.md",
+            "performance.md", "analysis.md"} <= names
 
 
 def test_no_broken_internal_links():
@@ -31,3 +31,56 @@ def test_fenced_examples_run():
             str(page), module_relative=False,
             optionflags=doctest.NORMALIZE_WHITESPACE)
         assert result.failed == 0, f"{page.name}: {result.failed} failures"
+
+
+class TestAnchorValidation:
+    def test_github_slugs(self):
+        slug = check_doc_links.github_slug
+        assert slug("Profiling how-to") == "profiling-how-to"
+        assert slug("The `xl` tier and the parallel sweep engine") == \
+            "the-xl-tier-and-the-parallel-sweep-engine"
+        assert slug("Kernel design: the same-time fast lane") == \
+            "kernel-design-the-same-time-fast-lane"
+
+    def test_duplicate_headings_get_numbered_anchors(self, tmp_path):
+        page = tmp_path / "dup.md"
+        page.write_text("# Setup\n\n## Running it\nx\n## Running it\ny\n")
+        anchors = check_doc_links.page_anchors(page.resolve())
+        assert {"setup", "running-it", "running-it-1"} <= anchors
+
+    def test_in_page_anchor_checked(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("# Alpha Beta\n\nsee [above](#alpha-beta) "
+                        "and [nowhere](#gamma)\n")
+        failures = check_doc_links.broken_links(page)
+        assert len(failures) == 1
+        assert "#gamma" in failures[0]
+
+    def test_cross_page_anchor_checked(self, tmp_path):
+        (tmp_path / "target.md").write_text("## Known Section\n")
+        page = tmp_path / "page.md"
+        page.write_text("[ok](target.md#known-section) "
+                        "[bad](target.md#missing-section)\n")
+        failures = check_doc_links.broken_links(page)
+        assert len(failures) == 1
+        assert "missing-section" in failures[0]
+
+    def test_subdirectory_pages_are_checked_by_default(self, tmp_path,
+                                                       monkeypatch,
+                                                       capsys):
+        # regression: the default page list used a top-level glob, so a
+        # broken link inside docs/<subdir>/ never failed the build
+        docs = tmp_path / "docs"
+        (docs / "sub").mkdir(parents=True)
+        (tmp_path / "README.md").write_text("hello\n")
+        (docs / "sub" / "deep.md").write_text("[gone](missing.md)\n")
+        monkeypatch.setattr(check_doc_links, "__file__",
+                            str(tmp_path / "scripts" / "check.py"))
+        rc = check_doc_links.main([])
+        assert rc == 1
+        assert "missing.md" in capsys.readouterr().err
+
+    def test_code_fences_are_ignored(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("# T\n\n```md\n[fake](nope.md)\n```\n")
+        assert check_doc_links.broken_links(page) == []

@@ -421,3 +421,56 @@ class TestRepairProperty:
                 pos = overlay.parent_of(pos)
                 assert pos not in victims
             assert _reaches_root(overlay, leaf)
+
+
+class TestChildrenCacheInvalidation:
+    """children_of memoizes one O(size) pass; every repair mutation must
+    drop the memo, including the *second* repair in a session (a stale
+    cache would silently route waves to dead or reparented children)."""
+
+    @staticmethod
+    def _brute_children(overlay, pos):
+        return [q for q in range(1, overlay.topology.size)
+                if q not in overlay._dead
+                and overlay._parent[q] == pos]
+
+    def _assert_cache_fresh(self, overlay):
+        for pos in range(overlay.topology.size):
+            assert overlay.children_of(pos) == \
+                self._brute_children(overlay, pos), pos
+
+    def test_second_repair_invalidates_again(self, sim):
+        topo = TBONTopology.balanced(64, fanout=4)
+        _cluster, placement, overlay = _overlay(sim, topo)
+        first, second = topo.comm_positions()[:2]
+
+        def scenario():
+            # prime the memo, then mutate + check twice
+            self._assert_cache_fresh(overlay)
+            for victim in (first, second):
+                placement[victim].fail("test")
+                yield from overlay.repair()
+                self._assert_cache_fresh(overlay)
+                # top-level comm: its parent is the root
+                assert victim not in overlay.children_of(0)
+
+        _drive(sim, scenario())
+        assert len(overlay.repairs) == 2
+
+    def test_orphan_pruning_also_drops_the_memo(self, sim):
+        # killing a whole subtree's leaves makes their comm node childless;
+        # repair prunes it, which must invalidate the memo mid-repair
+        topo = TBONTopology.balanced(64, fanout=4)
+        _cluster, placement, overlay = _overlay(sim, topo)
+        comm = topo.comm_positions()[0]
+        leaves = topo.children(comm)
+
+        def scenario():
+            self._assert_cache_fresh(overlay)
+            for pos in leaves:
+                placement[pos].fail("test")
+            yield from overlay.repair()
+            self._assert_cache_fresh(overlay)
+            assert overlay.children_of(comm) == []
+
+        _drive(sim, scenario())
