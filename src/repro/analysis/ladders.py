@@ -24,14 +24,16 @@ few seconds of CI time.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Optional, Sequence
 
 from repro.experiments.sweep import map_grid
 
-__all__ = ["LADDERS", "Ladder", "collect_samples", "fig6_ladder_point",
-           "str_ladder_point"]
+__all__ = ["LADDERS", "Ladder", "collect_samples", "dropped_metric_points",
+           "fig6_ladder_point", "fig6_hybrid_ladder_point",
+           "str_ladder_point", "str_hybrid_ladder_point"]
 
 
 def fig6_ladder_point(n: int) -> dict:
@@ -51,6 +53,23 @@ def fig6_ladder_point(n: int) -> dict:
     return metrics
 
 
+def fig6_hybrid_ladder_point(n: int) -> dict:
+    """fig6 launch point on the hybrid analytic/discrete tier: only the
+    exact head is simulated; aggregate spans contribute model terms."""
+    from repro.experiments.fig6 import measure_stat_startup
+
+    t0 = perf_counter()  # simlint: allow[wall-clock]
+    box = measure_stat_startup(n, "launchmon", tasks_per_daemon=1,
+                               hybrid=True)
+    wall = perf_counter() - t0  # simlint: allow[wall-clock]
+    report = box["startup"]
+    metrics = dict(report.phases())
+    metrics["virtual_total"] = report.total
+    metrics["sim_events"] = float(box["sim_events"])
+    metrics["wall_s"] = wall
+    return metrics
+
+
 def str_ladder_point(n: int) -> dict:
     """Data-plane point: a sustained stream over ``n`` leaves."""
     from repro.experiments.streaming import measure_stream
@@ -58,6 +77,22 @@ def str_ladder_point(n: int) -> dict:
     t0 = perf_counter()  # simlint: allow[wall-clock]
     cell = measure_stream(n, filter_name="histogram", window=4,
                           credit_limit=4, n_waves=10)
+    wall = perf_counter() - t0  # simlint: allow[wall-clock]
+    metrics = dict(cell["phase_totals"])
+    metrics["virtual_total"] = cell["total_latency"]
+    metrics["sim_events"] = float(cell["sim_events"])
+    metrics["wall_s"] = wall
+    return metrics
+
+
+def str_hybrid_ladder_point(n: int) -> dict:
+    """Stream point on the hybrid tier: collapsed spans publish their
+    closed-form merged payloads with model-derived delays."""
+    from repro.experiments.streaming import measure_stream
+
+    t0 = perf_counter()  # simlint: allow[wall-clock]
+    cell = measure_stream(n, filter_name="histogram", window=4,
+                          credit_limit=4, n_waves=10, hybrid=True)
     wall = perf_counter() - t0  # simlint: allow[wall-clock]
     metrics = dict(cell["phase_totals"])
     metrics["virtual_total"] = cell["total_latency"]
@@ -100,7 +135,40 @@ LADDERS: dict[str, Ladder] = {
         description="sustained stream waves under credit flow control "
                     "(data-plane phases: fanin / filter / deliver)",
     ),
+    "fig6-hybrid": Ladder(
+        experiment="fig6-hybrid",
+        point=fig6_hybrid_ladder_point,
+        quick_scales=(4096, 16384, 65536),
+        full_scales=(4096, 16384, 65536, 262144),
+        description="STAT startup via LaunchMON on the hybrid "
+                    "analytic/discrete tier (exact head + aggregated "
+                    "spans); extends the launch ladder past 64k",
+    ),
+    "str-hybrid": Ladder(
+        experiment="str-hybrid",
+        point=str_hybrid_ladder_point,
+        quick_scales=(4096, 16384, 65536),
+        full_scales=(4096, 16384, 65536, 262144),
+        description="sustained stream waves on the hybrid tier "
+                    "(closed-form span merges, model-derived delays); "
+                    "extends the data-plane ladder past 64k",
+    ),
 }
+
+
+def dropped_metric_points(samples: Sequence[tuple[int, dict]],
+                          ) -> dict[str, list[int]]:
+    """Map each metric to the scales whose value is non-positive.
+
+    These are exactly the pairs :func:`repro.analysis.fitting.fit_power`
+    silently drops before its log-log regression; surfacing them keeps a
+    zeroed metric from faking a flat (or steep) exponent unremarked."""
+    dropped: dict[str, list[int]] = {}
+    for n, metrics in samples:
+        for name, value in metrics.items():
+            if not value > 0:
+                dropped.setdefault(name, []).append(n)
+    return dropped
 
 
 def collect_samples(ladder: Ladder,
@@ -113,6 +181,11 @@ def collect_samples(ladder: Ladder,
     metric per scale (the standard noise filter for timing) -- virtual
     and count metrics are deterministic, so the first run's values stand
     for all repeats (asserted, as a cheap determinism probe).
+
+    Any non-positive metric value is reported via ``warnings.warn``:
+    ``fit_power`` drops such pairs silently, and an unremarked drop lets
+    a zeroed metric fake a flat exponent (scalecheck folds the same
+    information into its report notes).
     """
     scales = tuple(scales if scales is not None else ladder.quick_scales)
     if repeats < 1:
@@ -133,4 +206,9 @@ def collect_samples(ladder: Ladder,
                         f"deterministic across repeats "
                         f"({merged.get(name)!r} != {value!r})")
         samples.append((n, merged))
+    for name, at in sorted(dropped_metric_points(samples).items()):
+        warnings.warn(
+            f"{ladder.experiment}: metric {name!r} is non-positive at "
+            f"scale(s) {', '.join(str(n) for n in at)} -- these points "
+            f"drop out of the power fit", stacklevel=2)
     return samples

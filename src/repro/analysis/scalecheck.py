@@ -41,7 +41,8 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.fitting import PowerFit, fit_metric_exponents
-from repro.analysis.ladders import LADDERS, Ladder, collect_samples
+from repro.analysis.ladders import (LADDERS, Ladder, collect_samples,
+                                    dropped_metric_points)
 
 __all__ = ["CheckResult", "DEFAULT_TOLERANCES", "MIN_SIGNAL", "Regression",
            "TAIL_RATIO_LIMIT", "compare_to_baseline", "load_baseline",
@@ -302,6 +303,14 @@ def run_check(experiment: str,
     fits = fit_metric_exponents(samples)
     regressions, notes = compare_to_baseline(
         experiment, samples, fits, baseline, tolerances)
+    # surface what fit_power silently dropped: a zeroed metric must not
+    # fake a flat exponent without a trace in the report
+    for name, at in sorted(dropped_metric_points(samples).items()):
+        scales_s = ", ".join(str(n) for n in at)
+        notes.append(
+            f"{name!r} non-positive at scale(s) {scales_s} -- dropped "
+            f"from the power fit" + ("" if name in fits else
+                                     "; no exponent fitted at all"))
     return CheckResult(experiment=experiment, scales=scales,
                        samples=samples, fits=fits, baseline=baseline,
                        regressions=regressions, notes=notes)

@@ -39,6 +39,15 @@ the AST:
     block inside one stalls the virtual clock for every simulated node
     at once.
 
+``agg-leaves``
+    No direct ``.backends()`` / ``.live_backends()`` iteration in the
+    registered hybrid hot-path modules (:data:`AGG_AWARE_MODULES`):
+    those accessors see only *simulated* back ends, so code that means
+    "every leaf" silently drops the aggregate spans of a hybrid run.
+    Use the aggregate-aware ``leaves()`` / ``live_leaves()``; sites
+    that genuinely want only the simulated positions (placement,
+    per-daemon spawning) carry an inline allow.
+
 Suppression: append ``# simlint: allow[rule]`` (or ``allow[r1,r2]``, or
 bare ``# simlint: allow`` for all rules) to the flagged line, ideally
 with a short justification after it. Suppressions are per-line and per
@@ -56,8 +65,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
-__all__ = ["Finding", "HOT_PATH_MODULES", "RULES", "lint_file",
-           "lint_paths", "lint_source", "main"]
+__all__ = ["AGG_AWARE_MODULES", "Finding", "HOT_PATH_MODULES", "RULES",
+           "lint_file", "lint_paths", "lint_source", "main"]
 
 RULES = {
     "wall-clock": "wall-clock read in simulator-driven code (use sim.now; "
@@ -67,6 +76,9 @@ RULES = {
     "linear-scan": "O(N) list scan/shift in a registered hot-path module",
     "sweep-pickle": "map_grid point function is not module-level picklable",
     "blocking-io": "blocking I/O inside a simx process (generator) body",
+    "agg-leaves": "simulated-only leaf iteration (backends()/"
+                  "live_backends()) in a hybrid hot-path module; use the "
+                  "aggregate-aware leaves()/live_leaves()",
 }
 
 #: modules the kernel/launch hot path runs through: the places where an
@@ -79,6 +91,18 @@ HOT_PATH_MODULES = (
     "repro/tbon/flow.py",
     "repro/cluster/node.py",
     "repro/rm/base.py",
+)
+
+#: modules the hybrid tier runs through: anywhere here that iterates the
+#: *simulated* back ends when it means "every leaf" silently drops the
+#: aggregate spans of a hybrid run (the ``agg-leaves`` rule's scope)
+AGG_AWARE_MODULES = (
+    "repro/tbon/overlay.py",
+    "repro/tbon/startup.py",
+    "repro/launch/report.py",
+    "repro/tools/stat_tool/tool.py",
+    "repro/experiments/fig6.py",
+    "repro/experiments/streaming.py",
 )
 
 _WALL_CLOCK_CALLS = frozenset(
@@ -168,10 +192,11 @@ class _ModuleLint(ast.NodeVisitor):
     """One module's lint pass (see the rule catalog in the module doc)."""
 
     def __init__(self, path: str, source_lines: Sequence[str],
-                 hot: bool):
+                 hot: bool, agg_aware: bool = False):
         self.path = path
         self.source_lines = source_lines
         self.hot = hot
+        self.agg_aware = agg_aware
         self.findings: list[Finding] = []
         #: name -> fully dotted origin ("t" -> "time",
         #: "sleep" -> "time.sleep")
@@ -282,6 +307,14 @@ class _ModuleLint(ast.NodeVisitor):
                              ".insert(0, ...) shifts the whole list; use "
                              "collections.deque")
 
+        if self.agg_aware and isinstance(node.func, ast.Attribute) and \
+                node.func.attr in ("backends", "live_backends"):
+            self._report(node, "agg-leaves",
+                         f".{node.func.attr}() sees only simulated back "
+                         f"ends and drops a hybrid run's aggregate spans; "
+                         f"use the aggregate-aware leaves()/live_leaves() "
+                         f"(or allow, if simulated-only is the point)")
+
         if dotted is not None and \
                 (dotted == "map_grid" or dotted.endswith(".map_grid")):
             self._check_sweep_point(node)
@@ -313,34 +346,45 @@ def _is_hot(path: Path, hot_paths: Iterable[str]) -> bool:
 def lint_source(source: str, path: str = "<string>",
                 hot: Optional[bool] = None,
                 hot_paths: Iterable[str] = HOT_PATH_MODULES,
+                agg_aware: Optional[bool] = None,
+                agg_paths: Iterable[str] = AGG_AWARE_MODULES,
                 ) -> list[Finding]:
     """Lint one module's source text; returns its findings in file order.
 
     ``hot=None`` decides hot-path membership from ``path`` against
     ``hot_paths``; pass ``hot=True``/``False`` to force (fixture tests).
+    ``agg_aware`` gates the ``agg-leaves`` rule the same way against
+    ``agg_paths``.
     """
     if hot is None:
         hot = _is_hot(Path(path), hot_paths)
+    if agg_aware is None:
+        agg_aware = _is_hot(Path(path), agg_paths)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         return [Finding(path=path, line=exc.lineno or 1,
                         col=exc.offset or 0, rule="syntax",
                         message=f"cannot parse: {exc.msg}")]
-    linter = _ModuleLint(path, source.splitlines(), hot)
+    linter = _ModuleLint(path, source.splitlines(), hot,
+                         agg_aware=agg_aware)
     linter.visit(tree)
     return sorted(linter.findings, key=lambda f: (f.line, f.col, f.rule))
 
 
 def lint_file(path: Path, hot: Optional[bool] = None,
               hot_paths: Iterable[str] = HOT_PATH_MODULES,
+              agg_aware: Optional[bool] = None,
+              agg_paths: Iterable[str] = AGG_AWARE_MODULES,
               ) -> list[Finding]:
     return lint_source(path.read_text(encoding="utf-8"), str(path),
-                       hot=hot, hot_paths=hot_paths)
+                       hot=hot, hot_paths=hot_paths,
+                       agg_aware=agg_aware, agg_paths=agg_paths)
 
 
 def lint_paths(paths: Iterable[Path],
                hot_paths: Iterable[str] = HOT_PATH_MODULES,
+               agg_paths: Iterable[str] = AGG_AWARE_MODULES,
                ) -> list[Finding]:
     """Lint every ``*.py`` under the given files/directories."""
     findings: list[Finding] = []
@@ -348,7 +392,8 @@ def lint_paths(paths: Iterable[Path],
         root = Path(root)
         files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
         for file in files:
-            findings.extend(lint_file(file, hot_paths=hot_paths))
+            findings.extend(lint_file(file, hot_paths=hot_paths,
+                                      agg_paths=agg_paths))
     return findings
 
 

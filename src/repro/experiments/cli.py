@@ -9,6 +9,15 @@ Scale tiers select how far each sweep pushes the simulated machine:
   the kernel fast path landed. Task counts per daemon are reduced where
   noted so the xl tier stresses *daemon-launch* scalability rather than
   the application-side process count.
+* ``--scale xxl`` -- the 1,048,576-daemon tier, reachable only through
+  the hybrid analytic/discrete path (``--hybrid`` is implied): all but
+  the exact head and any special positions of the TBON leaf space are
+  charged from the validated perfmodel closed forms instead of being
+  simulated leaf by leaf. Covers fig6 and str, the two experiments with
+  hybrid tiers.
+
+``--hybrid`` turns the hybrid tier on at any scale for fig6 and str
+(it is rejected for experiments without a hybrid path).
 
 ``--jobs N`` fans independent grid points out over N worker processes
 (every cell builds its own simulator, so sweeps are embarrassingly
@@ -78,7 +87,20 @@ XL_SWEEPS = {
                 windows=(8,), credit_limits=(4,), n_waves=10),
 }
 
-SCALE_SWEEPS = {"quick": QUICK_SWEEPS, "full": {}, "xl": XL_SWEEPS}
+#: the 1M-daemon tier: only the hybrid analytic/discrete path reaches it
+#: on a laptop, so the grids force ``hybrid=True`` and cover the two
+#: experiments with hybrid tiers (fig6 launches, str streaming)
+XXL_SWEEPS = {
+    "fig6": dict(node_counts=(1048576,), tasks_per_daemon=1, hybrid=True),
+    "str": dict(leaf_counts=(1048576,), filters=("histogram", "ewma"),
+                windows=(8,), credit_limits=(4,), n_waves=10, hybrid=True),
+}
+
+SCALE_SWEEPS = {"quick": QUICK_SWEEPS, "full": {}, "xl": XL_SWEEPS,
+                "xxl": XXL_SWEEPS}
+
+#: experiments with a hybrid analytic/discrete tier (--hybrid)
+HYBRID_EXPERIMENTS = ("fig6", "str")
 
 RUNNERS = {
     "fig3": run_fig3,
@@ -110,7 +132,12 @@ def main(argv: list[str] | None = None) -> int:
                         default=None,
                         help="sweep tier: quick (reduced), full "
                              "(paper-fidelity, default), xl (16k/64k "
-                             "daemons)")
+                             "daemons), xxl (1M daemons, hybrid)")
+    parser.add_argument("--hybrid", action="store_true",
+                        help="use the hybrid analytic/discrete tier "
+                             "(fig6 and str only): aggregate homogeneous "
+                             "leaf subtrees analytically, simulate the "
+                             "exact head and special positions")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run independent grid points across N worker "
                              "processes (-1 = one per CPU); the merged "
@@ -122,11 +149,25 @@ def main(argv: list[str] | None = None) -> int:
     scale = args.scale or ("quick" if args.quick else "full")
 
     names = sorted(RUNNERS) if "all" in args.experiment else args.experiment
+    if scale == "xxl":
+        unsupported = [n for n in names if n not in XXL_SWEEPS]
+        if unsupported:
+            parser.error("--scale xxl only covers the hybrid experiments "
+                         f"({', '.join(sorted(XXL_SWEEPS))}), not "
+                         + ", ".join(unsupported))
+    if args.hybrid:
+        unsupported = [n for n in names if n not in HYBRID_EXPERIMENTS]
+        if unsupported:
+            parser.error("--hybrid only applies to "
+                         f"{', '.join(HYBRID_EXPERIMENTS)}, not "
+                         + ", ".join(unsupported))
     sweeps = SCALE_SWEEPS[scale]
     for name in names:
         runner = RUNNERS[name]
         kwargs = dict(sweeps.get(name, {}))
         kwargs["jobs"] = args.jobs
+        if args.hybrid:
+            kwargs["hybrid"] = True
         result = runner(**kwargs)
         print(result.format_table())
         print()

@@ -28,14 +28,16 @@ from typing import Any, Optional, Sequence
 from repro.apps import make_compute_app
 from repro.perfmodel import StreamModel
 from repro.runner import drive, make_env
-from repro.tbon import Overlay, TBONTopology
+from repro.simx import AggregationPlan
+from repro.tbon import Overlay, TBONTopology, make_filter
 from repro.tbon.overlay import StreamSpec
 from repro.tools.monitor import run_monitor
 from repro.experiments.common import ExperimentResult
 from repro.experiments.sweep import map_grid
 
 __all__ = ["measure_monitor", "measure_stream", "run_streaming",
-           "synthetic_payload"]
+           "synthetic_payload", "synthetic_aggregate_payload",
+           "STREAM_HYBRID_EXACT_HEAD"]
 
 #: ceiling for one cell's virtual runtime before it is declared hung
 CELL_DEADLINE = 3600.0
@@ -44,6 +46,10 @@ CELL_DEADLINE = 3600.0
 SWEEP_STREAM_ID = 9
 
 FILTERS = ("histogram", "top_k", "ewma")
+
+#: leaves simulated exactly at the head of a hybrid stream cell; multiple
+#: whole comm groups so the exact region exercises real routers
+STREAM_HYBRID_EXACT_HEAD = 256
 
 
 def synthetic_payload(filter_name: str, pos: int, wave: int) -> Any:
@@ -61,16 +67,73 @@ def synthetic_payload(filter_name: str, pos: int, wave: int) -> Any:
     return 1  # sum / max / concat-style numeric payload
 
 
-def _build_overlay(n_leaves: int, fanout: int, seed: int):
-    """A placed, routed overlay (FE -> comms -> BEs) on a fresh env."""
-    topo = (TBONTopology.balanced(n_leaves, fanout) if fanout
-            else TBONTopology.one_deep(n_leaves))
+def synthetic_aggregate_payload(filter_name: str, lo: int, hi: int,
+                                wave: int, filter_params: tuple = ()) -> Any:
+    """The exact merge of :func:`synthetic_payload` over leaves
+    ``lo..hi-1``, in closed form for the swept filters.
+
+    This is what a hybrid cell's aggregate emitter publishes: the same
+    payload the collapsed subtree's router would have produced, so the
+    root's delivered waves and final state stay *bit-exact* while the
+    span's leaves are never simulated. Filters without a closed form fall
+    back to materializing the span's payloads and running the filter's
+    own reduce -- still exact, but linear in span size.
+    """
+    span = hi - lo
+    if filter_name == "histogram":
+        out = {}
+        for b in range(8):
+            start = lo + ((b - lo) % 8)
+            if start < hi:
+                out[f"bin{b}"] = (hi - start + 7) // 8
+        return out
+    if filter_name == "top_k":
+        # invert value = (pos*7 + wave*3) % 101 with 7^-1 = 29 (mod 101);
+        # equal values rank by str(key), matching TopKFilter.merge
+        k = int(dict(filter_params).get("k", 8))
+        items: list = []
+        for value in range(100, -1, -1):
+            residue = ((value - 3 * wave) * 29) % 101
+            start = lo + ((residue - lo) % 101)
+            keys = sorted(f"leaf{p}" for p in range(start, hi, 101))
+            items.extend([value, key] for key in keys)
+            if len(items) >= k:
+                break
+        return items[:k]
+    if filter_name == "ewma":
+        return span  # the span's per-wave sum of 1s
+    filt = make_filter(filter_name, **dict(filter_params))
+    merged, _ = filt.reduce(
+        [synthetic_payload(filter_name, p, wave) for p in range(lo, hi)],
+        filt.initial_state())
+    return merged
+
+
+def _build_overlay(n_leaves: int, fanout: int, seed: int, plan=None):
+    """A placed, routed overlay (FE -> comms -> BEs) on a fresh env.
+
+    With an :class:`~repro.simx.aggregate.AggregationPlan` the tree is the
+    balanced *hybrid* shape: only the plan's exact groups get comm/BE
+    positions (and cluster nodes); aggregate spans are positions without
+    placement, fed analytically.
+    """
+    if plan is not None:
+        if not fanout:
+            raise ValueError("hybrid stream cells need a fanout "
+                             "(group-aligned balanced tree)")
+        topo = TBONTopology.hybrid_balanced(plan, fanout)
+    else:
+        topo = (TBONTopology.balanced(n_leaves, fanout) if fanout
+                else TBONTopology.one_deep(n_leaves))
     n_comm = len(topo.comm_positions())
-    env = make_env(n_compute=n_leaves + n_comm, seed=seed)
+    # only simulated positions occupy nodes: aggregate spans need no
+    # compute, which is what lets a 1M-leaf cell fit a laptop
+    n_be = len(topo.backends())  # simlint: allow[agg-leaves]
+    env = make_env(n_compute=n_be + n_comm, seed=seed)
     placement = {0: env.cluster.front_end}
     for i, pos in enumerate(topo.comm_positions()):
         placement[pos] = env.cluster.compute[i]
-    for i, pos in enumerate(topo.backends()):
+    for i, pos in enumerate(topo.backends()):  # simlint: allow[agg-leaves]
         placement[pos] = env.cluster.compute[n_comm + i]
     overlay = Overlay(env.sim, env.cluster.network, topo, placement,
                       streams={})
@@ -82,23 +145,69 @@ def measure_stream(n_leaves: int, filter_name: str = "histogram",
                    window: int = 8, credit_limit: int = 4,
                    n_waves: int = 20, fanout: int = 16,
                    publish_interval: float = 0.0,
-                   filter_params: tuple = (), seed: int = 1) -> dict:
+                   filter_params: tuple = (), seed: int = 1,
+                   hybrid: bool = False,
+                   exact_head: int = STREAM_HYBRID_EXACT_HEAD) -> dict:
     """One sweep cell: sustain ``n_waves`` over a synthetic stream.
 
     ``publish_interval=0`` saturates the pipeline (throughput is then
     router-bound, the regime the model predicts); a positive interval
     models a sampling cadence.
+
+    ``hybrid=True`` simulates only ``exact_head`` leaves (whole comm
+    groups) exactly; the rest of the tree collapses into aggregate spans
+    whose emitters publish the span's closed-form merged payload each
+    wave, delayed by the :class:`StreamModel`'s collapsed-pipeline
+    occupancy. Delivered wave payloads and final state are exact; timing
+    carries the model's error band.
     """
-    env, topo, overlay = _build_overlay(n_leaves, fanout, seed)
+    plan = None
+    if hybrid:
+        head = min(exact_head, n_leaves)
+        plan = AggregationPlan.build(n_leaves, exact_head=head,
+                                     group=fanout)
+    env, topo, overlay = _build_overlay(n_leaves, fanout, seed, plan=plan)
     sim = env.sim
     spec = StreamSpec(SWEEP_STREAM_ID, filter_name,
                       credit_limit=credit_limit, window=window,
                       filter_params=filter_params)
     stream = overlay.open_stream(spec)
+    model = StreamModel(env.cluster.costs)
+
+    # payload identity is the publishing position; a hybrid cell's leaves
+    # must publish under their *full-tree-equivalent* positions (the BE
+    # slots the non-hybrid balanced tree would assign) or the merged
+    # payloads could not match the full simulation bit-for-bit
+    n_comm_full = -(-n_leaves // fanout) if fanout else 0
+    leaf_id_base = (1 + n_comm_full) if n_comm_full > 1 else 1
+    leaf_ids: dict[int, int] = {}
+    if hybrid:
+        vidx = 0
+        for pos in topo.leaves():
+            if topo.kind[pos] == "agg":
+                vidx = topo.agg_span(pos)[1]
+            else:
+                leaf_ids[pos] = leaf_id_base + vidx
+                vidx += 1
 
     def leaf(pos):
+        ident = leaf_ids.get(pos, pos)
         for wave in range(n_waves):
-            payload = synthetic_payload(filter_name, pos, wave)
+            payload = synthetic_payload(filter_name, ident, wave)
+            yield from stream.publish(pos, wave, payload)
+            if publish_interval > 0:
+                yield sim.timeout(publish_interval)
+
+    def aggregate_emitter(pos):
+        lo, hi = topo.agg_span(pos)
+        delay = model.aggregate_contribution_delay(
+            hi - lo, topo.contrib_weight(pos), credit_limit=credit_limit)
+        for wave in range(n_waves):
+            if delay > 0:
+                yield sim.timeout(delay)
+            payload = synthetic_aggregate_payload(
+                filter_name, leaf_id_base + lo, leaf_id_base + hi,
+                wave, filter_params)
             yield from stream.publish(pos, wave, payload)
             if publish_interval > 0:
                 yield sim.timeout(publish_interval)
@@ -110,8 +219,10 @@ def measure_stream(n_leaves: int, filter_name: str = "histogram",
             pkt = yield from stream.next_wave()
             waves.append((pkt.wave, pkt.payload))
 
-    for pos in topo.backends():
+    for pos in topo.backends():  # simlint: allow[agg-leaves]
         sim.process(leaf(pos), name=f"leaf:{pos}")
+    for pos in topo.agg_positions():
+        sim.process(aggregate_emitter(pos), name=f"agg-leaf:{pos}")
     drive(env, subscriber(), until=CELL_DEADLINE)
 
     report = stream.report
@@ -123,6 +234,7 @@ def measure_stream(n_leaves: int, filter_name: str = "histogram",
     phase_totals = report.phase_totals()
     return {
         "leaves": n_leaves, "fanout": fanout, "filter": filter_name,
+        "hybrid": hybrid, "n_exact": plan.n_exact if plan else n_leaves,
         "window": window, "credit_limit": credit_limit,
         "n_waves": n_waves, "delivered": report.n_delivered,
         "throughput": measured, "throughput_model": predicted,
@@ -175,11 +287,11 @@ def measure_monitor(n_daemons: int = 16, n_waves: int = 8,
 
 
 def _str_point(n: int, filter_name: str, window: int, credit: int,
-               n_waves: int, fanout: int) -> dict:
+               n_waves: int, fanout: int, hybrid: bool = False) -> dict:
     """One sweep cell as a result-table row (worker-safe)."""
     cell = measure_stream(n, filter_name=filter_name, window=window,
                           credit_limit=credit, n_waves=n_waves,
-                          fanout=fanout)
+                          fanout=fanout, hybrid=hybrid)
     return {
         "leaves": n, "filter": filter_name, "window": window,
         "credit": credit, "delivered": cell["delivered"],
@@ -199,23 +311,30 @@ def run_streaming(leaf_counts: Sequence[int] = (64, 256, 1024),
                   credit_limits: Sequence[int] = (2, 8),
                   n_waves: int = 20,
                   fanout: int = 16,
-                  jobs: int = 1) -> ExperimentResult:
+                  jobs: int = 1, hybrid: bool = False) -> ExperimentResult:
     """The full leaves x filter x window x credit-limit sweep."""
     result = ExperimentResult(
         exp_id="str",
         title="Streaming data plane: sustained waves under credit-based "
-              "flow control (saturating publishers)",
+              "flow control (saturating publishers)"
+              + (" -- hybrid analytic/discrete tier" if hybrid else ""),
         columns=["leaves", "filter", "window", "credit", "delivered",
                  "thpt", "thpt_model", "err_pct", "mean_lat",
                  "dominant", "max_depth", "stalls"],
     )
     grid = [dict(n=n, filter_name=filter_name, window=window, credit=credit,
-                 n_waves=n_waves, fanout=fanout)
+                 n_waves=n_waves, fanout=fanout, hybrid=hybrid)
             for n in leaf_counts
             for filter_name in filters
             for window in windows
             for credit in credit_limits]
     result.rows = map_grid(_str_point, grid, jobs=jobs)
+    if hybrid:
+        result.notes.append(
+            f"hybrid tier: only {STREAM_HYBRID_EXACT_HEAD} head leaves "
+            f"(whole comm groups) are simulated; collapsed spans publish "
+            f"their closed-form merged payloads with model-derived delays "
+            f"(delivered payloads exact, timing in the model's error band)")
     result.notes.append(
         "thpt_model is the StreamModel pipeline prediction: the widest "
         "router's per-wave merge processing + the credit-gated feeding "

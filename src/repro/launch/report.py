@@ -82,6 +82,13 @@ class LaunchReport:
     retries: dict = field(default_factory=dict)
     #: node names this launch blacklisted (retries exhausted)
     blacklisted: list = field(default_factory=list)
+    #: daemons this launch *models*: simulated daemons plus every leaf
+    #: covered by an aggregate subtree (== n_daemons on non-hybrid runs
+    #: once set; 0 means "not a hybrid-aware path")
+    n_virtual_daemons: int = 0
+    #: one ``(label, phases_dict)`` per aggregate subtree folded into the
+    #: phase fields (hybrid launches; see :meth:`fold_aggregate`)
+    aggregate_accounts: list = field(default_factory=list)
 
     # -- failure accounting ---------------------------------------------------
     @property
@@ -110,6 +117,19 @@ class LaunchReport:
         """The per-phase breakdown as an ordered name -> seconds dict."""
         return {name: getattr(self, name) for name in PHASES}
 
+    def fold_aggregate(self, label: str, phases: dict) -> None:
+        """Fold one aggregate subtree's analytic phase charges into this
+        report (hybrid tier): each named phase and the total grow by the
+        modeled seconds, and the charge is kept in
+        ``aggregate_accounts`` so virtual and simulated time stay
+        separable."""
+        for name, seconds in phases.items():
+            if name not in PHASES:
+                raise ValueError(f"unknown launch phase {name!r}")
+            setattr(self, name, getattr(self, name) + seconds)
+            self.total += seconds
+        self.aggregate_accounts.append((label, dict(phases)))
+
     def dominant_phase(self) -> str:
         """Name of the costliest phase (scaling-loss attribution)."""
         return max(PHASES, key=lambda name: getattr(self, name))
@@ -126,4 +146,5 @@ class LaunchReport:
             "requested": self.requested,
             "n_failed": self.n_failed, "n_retried": self.n_retried,
             "blacklisted": list(self.blacklisted),
+            "n_virtual_daemons": self.n_virtual_daemons or self.n_daemons,
         }

@@ -176,6 +176,45 @@ class LaunchModel:
         hops = 3 * depth * (c.net_latency + c.msg_overhead + 0.0001)
         return per_rec + transfer + hops
 
+    #: one MPIR_PROCDESC entry on the ICCL scatter wire (rank + pid ints,
+    #: host and executable names, tuple framing), matching ``message_size``
+    SCATTER_ENTRY_BYTES = 260
+
+    @staticmethod
+    def piggyback_bytes(n_daemons: int) -> int:
+        """Compact-JSON bytes of the one-deep topology piggyback
+        (``{"topology": {"parent": [-1,0,...], "kind": ["fe","be",...]}}``)
+        the TBON launchmon path ships to every daemon."""
+        return 7 * n_daemons + 42
+
+    def t_usrdata_scatter(self, inp: ModelInputs,
+                          usr_payload_bytes: Optional[int] = None) -> float:
+        """Critical path of the ICCL scatter that hands every daemon its
+        proctable slice *plus a full copy of the piggybacked usr data*.
+
+        The scatter batches per-rank items down the binomial tree and each
+        item carries the whole O(n)-byte topology piggyback, so the root's
+        serialized sends move ``n * O(n)`` bytes -- the quadratic term that
+        dominates T(spawn) at 10k+ daemons. Children are served smallest
+        subtree first, so the largest child's batch leaves the root last
+        and the chain repeats at every level: ~``2n`` items end to end.
+        """
+        n = inp.n_daemons
+        if n <= 1:
+            return 0.0
+        c = self.costs
+        if usr_payload_bytes is None:
+            usr_payload_bytes = self.piggyback_bytes(n)
+        slice_bytes = 16 + inp.tasks_per_daemon * self.SCATTER_ENTRY_BYTES
+        # (rank, (slice, usr)) inside the batch list: two tuple frames
+        # of 16 bytes plus the opaque-int rank (64)
+        item = 16 + 64 + 16 + slice_bytes + usr_payload_bytes
+        depth = max(1, math.ceil(math.log2(n)))
+        items_serial = 2 * n - depth - 2
+        msgs_serial = depth * (depth + 1) // 2
+        return (items_serial * item / c.net_bandwidth
+                + msgs_serial * (c.net_latency + c.msg_overhead))
+
     def t_handshake(self, inp: ModelInputs) -> float:
         """Region C: FE-side processing + proctable/ready transfers."""
         c = self.costs
@@ -209,6 +248,72 @@ class LaunchModel:
         times.total = (times.rm_time() + times.t_trace + times.t_rpdtab
                        + times.t_handshake + times.t_other)
         return times
+
+    # -- the inverse: model terms per LaunchReport phase -----------------------
+    def launch_report_phases(self, n_daemons: int, tasks_per_daemon: int = 8,
+                             daemon_image_mb: float = 1.0,
+                             per_be_handshake: float = 0.0,
+                             mode: str = "attach") -> dict:
+        """Model prediction keyed by :data:`repro.launch.report.PHASES`.
+
+        The simulated launchmon path attributes its wall clock to six
+        report phases; this is the analytic view of the same carve-up
+        (validated against simulation within a few percent):
+
+        * ``t_spawn`` -- the RM attach/spawn window *minus* the image
+          staging the simulator carves out of it, plus every fabric/
+          engine term that lands inside the window;
+        * ``t_image_stage`` -- exactly :meth:`image_stage_time`;
+        * ``t_connect`` -- the FE's collective bring-up (one TCP connect
+          plus the per-record fabric cost);
+        * ``t_handshake`` -- the MRNet-style per-BE handshake, linear
+          with the caller's per-daemon constant;
+        * ``t_topo_dist``/``t_repair`` -- zero on a fault-free launch.
+
+        ``per_be_handshake`` is passed in as a plain float (the startup
+        layer owns the constant) so this module never imports it.
+        """
+        inp = ModelInputs(n_daemons=n_daemons,
+                          tasks_per_daemon=tasks_per_daemon, mode=mode,
+                          daemon_image_mb=daemon_image_mb)
+        image = self.image_stage_time(daemon_image_mb, n_daemons)
+        spawn = (self.t_daemon(inp) - image + self.t_setup(inp)
+                 + self.t_collective(inp) + self.t_usrdata_scatter(inp)
+                 + self.t_trace(inp) + self.t_rpdtab(inp)
+                 + self.t_handshake(inp) + self.t_other(inp))
+        connect = (self.costs.tcp_connect
+                   + self.slurm.fabric_per_rec * max(0, n_daemons - 1))
+        return {
+            "t_spawn": max(0.0, spawn),
+            "t_image_stage": image,
+            "t_topo_dist": 0.0,
+            "t_connect": connect,
+            "t_handshake": per_be_handshake * n_daemons,
+            "t_repair": 0.0,
+        }
+
+    def subtree_launch_phases(self, base_daemons: int, n_leaves: int,
+                              tasks_per_daemon: int = 8,
+                              daemon_image_mb: float = 1.0,
+                              per_be_handshake: float = 0.0,
+                              mode: str = "attach") -> dict:
+        """Marginal per-phase cost of ``n_leaves`` more daemons on top of
+        a launch that already has ``base_daemons``.
+
+        This is the hybrid tier's analytic charge for one
+        :class:`~repro.simx.aggregate.AggregateSubtree`: the phase deltas
+        telescope, so folding every subtree with a cumulative base
+        reproduces ``launch_report_phases(n_total) -
+        launch_report_phases(n_exact)`` exactly regardless of how the
+        aggregated span is partitioned.
+        """
+        hi = self.launch_report_phases(
+            base_daemons + n_leaves, tasks_per_daemon, daemon_image_mb,
+            per_be_handshake, mode)
+        lo = self.launch_report_phases(
+            base_daemons, tasks_per_daemon, daemon_image_mb,
+            per_be_handshake, mode)
+        return {k: max(0.0, hi[k] - lo[k]) for k in hi}
 
 
 class StreamModel:
@@ -252,13 +357,18 @@ class StreamModel:
     # -- per-topology terms ---------------------------------------------------
     def _level_children(self, topology) -> list[list[int]]:
         """Child counts of the internal positions along each leaf's
-        root path (one list per leaf, leaf-side first)."""
+        root path (one list per leaf, leaf-side first).
+
+        Aggregate-aware: leaf iteration covers ``"agg"`` positions too and
+        counts are *virtual* (an aggregate child counts as the physical
+        fan-in it collapsed), so the model predicts the full underlying
+        tree whether or not the topology is hybrid."""
         paths = []
-        for leaf in topology.backends():
+        for leaf in topology.leaves():
             counts = []
             pos = topology.parent[leaf]
             while pos is not None:
-                counts.append(len(topology.children(pos)))
+                counts.append(topology.virtual_child_count(pos))
                 pos = topology.parent[pos]
             paths.append(counts)
         return paths
@@ -297,9 +407,12 @@ class StreamModel:
         hop = self.hop_time(payload_bytes)
         worst = 0.0
         for pos in range(topology.size):
-            c = len(topology.children(pos))
-            if not c:
+            if not topology.children(pos):
                 continue
+            # virtual count: an aggregate child models its whole collapsed
+            # fan-in, so the busiest-router bound is over the *underlying*
+            # tree (identical to the physical count on non-hybrid trees)
+            c = topology.virtual_child_count(pos)
             t = self.merge_time(c)
             if credit_limit:
                 t += max(0, math.ceil(c / credit_limit) - 1) * hop
@@ -307,6 +420,32 @@ class StreamModel:
                 t += hop
             worst = max(worst, t)
         return worst
+
+    def aggregate_contribution_delay(self, n_leaves: int, n_contrib: int,
+                                     credit_limit: Optional[int] = None,
+                                     payload_bytes: int = OPAQUE_PAYLOAD,
+                                     ) -> float:
+        """Per-wave delay an :class:`~repro.simx.aggregate.AggregateSubtree`
+        emitter waits before publishing, modeling the collapsed subtree's
+        *internal* pipeline occupancy.
+
+        A flat span (``n_contrib == n_leaves``: leaves that would publish
+        straight to the parent) has no internal levels -- the parent-side
+        merge and feeding are already charged by the weighted router --
+        so the delay is zero. A collapsed comm level (balanced hybrid)
+        pays one comm's service time: merging its ``ceil(n_leaves /
+        n_contrib)`` leaves, the credit-gated feeding of those leaves,
+        and the forward hop (the collapsed comms run in parallel, so one
+        comm's occupancy is the per-wave delay).
+        """
+        if n_contrib >= n_leaves:
+            return 0.0
+        g = math.ceil(n_leaves / max(1, n_contrib))
+        hop = self.hop_time(payload_bytes)
+        t = self.merge_time(g)
+        if credit_limit:
+            t += max(0, math.ceil(g / credit_limit) - 1) * hop
+        return t + hop
 
     def sustained_throughput(self, topology,
                              credit_limit: Optional[int] = None,

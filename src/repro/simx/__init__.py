@@ -22,8 +22,16 @@ Resource
     Counted FIFO resource with request/release (:mod:`repro.simx.resources`).
 SeededRNG
     Deterministic hierarchical random streams (:mod:`repro.simx.rng`).
+AggregationPlan, AggregateSubtree, auto_expand
+    Hybrid analytic/discrete aggregation plans (:mod:`repro.simx.aggregate`).
 """
 
+from repro.simx.aggregate import (
+    AggregateSubtree,
+    AggregationError,
+    AggregationPlan,
+    auto_expand,
+)
 from repro.simx.core import (
     AllOf,
     AnyOf,
@@ -41,6 +49,9 @@ from repro.simx.resources import Resource
 from repro.simx.rng import SeededRNG
 
 __all__ = [
+    "AggregateSubtree",
+    "AggregationError",
+    "AggregationPlan",
     "AllOf",
     "AnyOf",
     "Channel",
@@ -54,5 +65,6 @@ __all__ = [
     "Simulator",
     "Store",
     "Timeout",
+    "auto_expand",
     "run_bounded",
 ]

@@ -25,6 +25,8 @@ class Store:
     FIFO, which keeps all higher-level protocols deterministic.
     """
 
+    __slots__ = ("sim", "capacity", "_items", "_getters", "_putters")
+
     def __init__(self, sim: Simulator, capacity: float = float("inf")):
         if capacity <= 0:
             raise SimulationError("Store capacity must be positive")
@@ -76,6 +78,9 @@ class Channel:
     ``latency_fn(message)`` virtual seconds. With zero latency the channel
     degenerates to a plain Store.
     """
+
+    __slots__ = ("sim", "name", "_latency_fn", "_store",
+                 "sent_count", "delivered_count")
 
     def __init__(self, sim: Simulator,
                  latency_fn: Optional[Callable[[Any], float]] = None,

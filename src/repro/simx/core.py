@@ -37,6 +37,11 @@ from collections import deque
 from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, Optional
 
+try:  # POSIX only; SimStats.peak_rss_kb stays 0 elsewhere
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
+
 __all__ = [
     "AllOf",
     "AnyOf",
@@ -462,7 +467,7 @@ class SimStats:
     """
 
     __slots__ = ("events", "fast_events", "heap_pushes", "heap_high_water",
-                 "wall_time")
+                 "live_high_water", "peak_rss_kb", "wall_time")
 
     def __init__(self) -> None:
         #: total events processed (fired)
@@ -474,6 +479,12 @@ class SimStats:
         self.heap_pushes = 0
         #: largest number of simultaneously scheduled heap entries
         self.heap_high_water = 0
+        #: largest number of simultaneously scheduled events anywhere
+        #: (heap plus both same-time lanes) -- the kernel's live footprint
+        self.live_high_water = 0
+        #: process peak RSS in KiB, sampled after each ``run()``
+        #: (0 where the ``resource`` module is unavailable)
+        self.peak_rss_kb = 0
         #: cumulative wall-clock seconds spent inside ``run()``
         self.wall_time = 0.0
 
@@ -487,6 +498,8 @@ class SimStats:
             "fast_events": self.fast_events,
             "heap_pushes": self.heap_pushes,
             "heap_high_water": self.heap_high_water,
+            "live_high_water": self.live_high_water,
+            "peak_rss_kb": self.peak_rss_kb,
             "wall_time": self.wall_time,
             "events_per_sec": self.events_per_sec(),
         }
@@ -565,6 +578,7 @@ class Simulator:
     # -- scheduling / execution -------------------------------------------
     def _enqueue(self, event: Event, delay: float, priority: int) -> None:
         self._seq = seq = self._seq + 1
+        stats = self.stats
         if delay == 0.0 and self._fast_lane:
             # Same-time fast lane: zero-delay events can only fire while
             # ``now`` is unchanged, so FIFO append preserves seq order and
@@ -573,13 +587,19 @@ class Simulator:
                 self._fast_normal.append((seq, event))
             else:
                 self._fast_urgent.append((seq, event))
+            live = (len(self._heap) + len(self._fast_urgent)
+                    + len(self._fast_normal))
+            if live > stats.live_high_water:
+                stats.live_high_water = live
             return
         heap = self._heap
         heapq.heappush(heap, (self._now + delay, priority, seq, event))
-        stats = self.stats
         stats.heap_pushes += 1
         if len(heap) > stats.heap_high_water:
             stats.heap_high_water = len(heap)
+        live = len(heap) + len(self._fast_urgent) + len(self._fast_normal)
+        if live > stats.live_high_water:
+            stats.live_high_water = live
 
     def _pop_next(self) -> tuple[int, int, Event]:
         """Pop the globally minimal ``(time, priority, seq)`` entry,
@@ -666,5 +686,10 @@ class Simulator:
                 event._run_callbacks()
         finally:
             stats.wall_time += perf_counter() - wall0  # simlint: allow[wall-clock]
+            if _resource is not None:
+                # observational only; ru_maxrss is KiB on Linux
+                rss = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+                if rss > stats.peak_rss_kb:
+                    stats.peak_rss_kb = rss
         if until is not None:
             self._now = until

@@ -53,6 +53,7 @@ from repro.tbon.overlay import (
     StreamSpec,
 )
 from repro.tbon.startup import (
+    MRNET_PER_BE_HANDSHAKE,
     StartupFailure,
     StartupReport,
     launchmon_startup,
@@ -65,6 +66,7 @@ __all__ = [
     "FILTER_REGISTRY",
     "Filter",
     "FlowStats",
+    "MRNET_PER_BE_HANDSHAKE",
     "Overlay",
     "OverlayEndpoint",
     "Packet",

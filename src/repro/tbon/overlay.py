@@ -226,8 +226,22 @@ class Overlay:
         return [p for p in range(self.topology.size) if p not in self._dead]
 
     def live_backends(self) -> list[int]:
-        """BE positions still up -- the leaves repair must preserve."""
-        return [p for p in self.topology.backends() if p not in self._dead]
+        """BE positions still up -- the leaves repair must preserve.
+
+        Excludes aggregate positions; hot paths that mean "every leaf"
+        should use :meth:`live_leaves` instead."""
+        return [p for p in self.topology.backends()  # simlint: allow[agg-leaves]
+                if p not in self._dead]
+
+    def live_leaves(self) -> list[int]:
+        """All live leaf positions -- simulated BEs and aggregate nodes."""
+        return [p for p in self.topology.leaves() if p not in self._dead]
+
+    def live_virtual_leaf_count(self) -> int:
+        """Live leaves with aggregates expanded to the daemons they model."""
+        topo = self.topology
+        return sum(topo.leaf_weight(p) for p in topo.leaves()
+                   if p not in self._dead)
 
     def dead_positions(self) -> list[int]:
         return sorted(self._dead)
@@ -350,21 +364,29 @@ class Overlay:
         """Collect per-(stream, wave) child contributions; filter; forward."""
         children = self.children_of(pos)
         expected = len(children)
+        contrib = self.topology.contrib_weight
         buffers: dict[tuple[int, int], list] = {}
+        weights: dict[tuple[int, int], int] = {}
         inbox = self._inbox(pos)
         while True:
             sender, pkt = yield inbox.get()
             self.packets_routed += 1
             key = (pkt.stream_id, pkt.wave)
             buffers.setdefault(key, []).append(pkt.payload)
+            weights[key] = weights.get(key, 0) + contrib(sender)
             if len(buffers[key]) < expected:
                 continue
             payloads = buffers.pop(key)
+            wsum = weights.pop(key)
             spec = self.streams.get(pkt.stream_id)
             fn = get_filter(spec.filter_name if spec else "concat")
-            # per-payload merge processing at this position
+            # per-payload merge processing at this position, weighted by
+            # the physical messages each contribution stands in for (an
+            # aggregate child counts as its whole collapsed fan-in; every
+            # simulated child weighs 1, so non-hybrid trees charge the
+            # bit-identical max(1, len(payloads)) they always did)
             yield self.sim.timeout(
-                self.network.costs.msg_overhead * max(1, len(payloads)))
+                self.network.costs.msg_overhead * max(1, wsum))
             merged = fn(payloads)
             out = Packet(pkt.stream_id, pkt.wave, merged, "up")
             if pos == 0:
@@ -452,7 +474,7 @@ class Overlay:
             for pos in range(1, self.topology.size):
                 if pos in self._dead:
                     continue
-                if (self.topology.kind[pos] != "be"
+                if (self.topology.kind[pos] not in ("be", "agg")
                         and not self.children_of(pos)):
                     self._dead.add(pos)
                     self._children_cache = None
@@ -515,7 +537,7 @@ class Stream:
         self.states: dict[int, Any] = {}
         self.report = StreamReport(
             stream_id=spec.stream_id, filter_name=spec.filter_name,
-            n_leaves=len(overlay.live_backends()),
+            n_leaves=overlay.live_virtual_leaf_count(),
             credit_limit=spec.credit_limit, window=spec.window,
             t_open=self.sim.now)
         self.closed = False
@@ -563,7 +585,10 @@ class Stream:
         sim = self.sim
         inbox = self._inboxes[pos]
         expected = len(self.overlay.children_of(pos))
+        contrib = self.overlay.topology.contrib_weight
+        costs = self.overlay.network.costs
         buffers: dict[int, list] = {}
+        weights: dict[int, int] = {}
         seen: dict[int, set] = {}
         if pos not in self.states:
             self.states[pos] = self.filter.initial_state()
@@ -578,18 +603,32 @@ class Stream:
                     f"at position {pos}")
             contributors.add(sender)
             buffers.setdefault(pkt.wave, []).append(pkt.payload)
+            weights[pkt.wave] = weights.get(pkt.wave, 0) + contrib(sender)
             if len(buffers[pkt.wave]) < expected:
                 continue
             payloads = buffers.pop(pkt.wave)
+            wsum = weights.pop(pkt.wave)
             seen.pop(pkt.wave)
             wt = self.report.waves.get(pkt.wave)
             if pos == 0 and wt is not None:
                 wt.t_assembled = sim.now
-                wt.n_contributions = len(payloads)
-            # per-payload merge processing at this position
-            yield sim.timeout(
-                self.overlay.network.costs.msg_overhead
-                * max(1, len(payloads)))
+                wt.n_contributions = wsum
+            # per-payload merge processing at this position, weighted by
+            # the physical fan-in each contribution models (1 for every
+            # simulated child, so non-hybrid charges are bit-identical)
+            yield sim.timeout(costs.msg_overhead * max(1, wsum))
+            if wsum > len(payloads):
+                # virtual feeding serialization: the collapsed children an
+                # aggregate stands in for would each have committed through
+                # this credit gate; charge the commits the hybrid tree
+                # skipped. Unjittered and off the Network counters so the
+                # simulated plane's RNG stream and message accounting are
+                # untouched.
+                k = max(1, self.spec.credit_limit)
+                extra = (-(-wsum // k)) - (-(-len(payloads) // k))
+                if extra > 0:
+                    yield sim.timeout(
+                        extra * costs.transfer_time(message_size(pkt)))
             folded = self._folded.setdefault(pos, set())
             if pkt.wave in folded:
                 # a repair re-delivered a wave this position already
@@ -646,10 +685,10 @@ class Stream:
         if self.closed:
             raise StreamError(
                 f"stream {self.spec.stream_id} is closed")
-        if self.overlay.topology.kind[position] != "be":
+        if self.overlay.topology.kind[position] not in ("be", "agg"):
             raise StreamError(
-                f"publish only at BE leaves, not position {position} "
-                f"({self.overlay.topology.kind[position]})")
+                f"publish only at BE leaves and aggregates, not position "
+                f"{position} ({self.overlay.topology.kind[position]})")
         if position in self.overlay._dead:
             raise StreamError(
                 f"leaf position {position} is dead")
@@ -721,7 +760,17 @@ class Stream:
         into the returned store as ``(wave, merged_payload)`` -- how a
         middleware daemon observes its subtree's stream without joining
         the reduction. Taps survive repairs while the position lives.
+
+        Aggregate positions cannot be tapped: they have no router to
+        observe. De-aggregate the subtree first (rebuild the hybrid
+        topology from a plan whose special set names the tapped leaf --
+        see :func:`repro.simx.aggregate.auto_expand`).
         """
+        if self.overlay.topology.kind[position] == "agg":
+            raise StreamError(
+                f"cannot tap aggregate position {position}: rebuild the "
+                f"plan with this leaf marked special (auto_expand) so the "
+                f"subtree is simulated exactly")
         if position not in self._taps:
             self._taps[position] = Store(self.sim)
         return self._taps[position]

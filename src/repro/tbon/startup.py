@@ -142,7 +142,7 @@ def native_startup(cluster: Cluster, backend_nodes: list[Node],
     report.t_connect = sim.now - t_conn0
 
     t_hs0 = sim.now
-    n_be = len(topo.backends())
+    n_be = len(topo.backends())  # simlint: allow[agg-leaves] -- mrnet path, never hybrid
     yield sim.timeout(per_be_handshake * n_be)
     report.t_handshake = sim.now - t_hs0
 
@@ -162,6 +162,7 @@ def launchmon_startup(fe_api, session, job: RMJob,
                       stream_filter: str = "concat",
                       per_be_handshake: float = MRNET_PER_BE_HANDSHAKE,
                       daemon_body: Optional[Callable] = None,
+                      aggregate_body: Optional[Callable] = None,
                       ) -> Generator[Any, Any, tuple[Overlay, StartupReport]]:
     """Launch and connect a TBON through LaunchMON (attachAndSpawn path).
 
@@ -170,6 +171,15 @@ def launchmon_startup(fe_api, session, job: RMJob,
     data; daemon placement is distributed with one LMONP message + ICCL
     broadcast. ``daemon_body(be, ctx, endpoint)`` runs in every daemon after
     the overlay is connected (this is where a tool like STAT does its work).
+
+    Hybrid topologies (ones carrying ``"agg"`` positions -- see
+    :meth:`TBONTopology.hybrid_one_deep`) additionally run
+    ``aggregate_body(pos, lo, hi, n_contrib, endpoint)`` as one emitter
+    process per aggregate subtree, started at the same barrier the daemon
+    bodies pass (tree connected): this is where the tool contributes the
+    collapsed span's analytic wave payload. Aggregate positions are never
+    placed on nodes and never spawn daemons; their launch-phase charges
+    are folded in by the caller (see ``LaunchReport.fold_aggregate``).
     """
     cluster = fe_api.cluster
     sim = cluster.sim
@@ -181,10 +191,14 @@ def launchmon_startup(fe_api, session, job: RMJob,
         hosts.setdefault(t.host)
     n_be = len(hosts)
     topo = topology or TBONTopology.one_deep(n_be)
-    if len(topo.backends()) != n_be:
+    # the RPDTAB hosts place only the *simulated* back ends, so aggregate
+    # positions are deliberately absent from this count
+    n_be_slots = len(topo.backends())  # simlint: allow[agg-leaves]
+    if n_be_slots != n_be:
         raise StartupFailure(
-            f"topology has {len(topo.backends())} BE slots for {n_be} nodes")
-    report.n_daemons = topo.size - 1
+            f"topology has {n_be_slots} BE slots for {n_be} nodes")
+    report.n_daemons = topo.size - 1 - len(topo.agg_positions())
+    report.n_virtual_daemons = topo.virtual_daemon_count()
 
     shared: dict[str, Any] = {}
 
@@ -207,7 +221,7 @@ def launchmon_startup(fe_api, session, job: RMJob,
         if REVERT_SHARED_PARSE or shared.get("topo_wire") is not wire:
             shared["topo_wire"] = wire
             shared["topo_parsed"] = TBONTopology.from_jsonable(wire)
-            shared["be_positions"] = shared["topo_parsed"].backends()
+            shared["be_positions"] = shared["topo_parsed"].backends()  # simlint: allow[agg-leaves] -- daemon-side parse: only simulated daemons exist
         topo_l = shared["topo_parsed"]
         if REVERT_SHARED_PARSE or shared.get("placement_wire") is not info:
             shared["placement_wire"] = info
@@ -257,7 +271,7 @@ def launchmon_startup(fe_api, session, job: RMJob,
             session, mw_spec, n_nodes=len(comm_positions))
         for pos, d in zip(comm_positions, session.mw_daemons):
             placement[pos] = d.node
-    for pos, host in zip(topo.backends(), session.rpdtab.hosts):
+    for pos, host in zip(topo.backends(), session.rpdtab.hosts):  # simlint: allow[agg-leaves] -- placement: aggregates occupy no node
         placement[pos] = cluster.node(host)
 
     overlay = _build_overlay(cluster, topo, placement, stream_filter)
@@ -281,6 +295,18 @@ def launchmon_startup(fe_api, session, job: RMJob,
         raise StartupFailure(
             f"only {ack.get('connected')} of {n_be} daemons connected")
     report.t_connect = sim.now - t_conn0
+
+    # aggregate emitters join the plane at the same barrier the daemon
+    # bodies pass (tree connected); they are pure simulation processes --
+    # no node, no placement, no daemon -- contributing the collapsed
+    # spans' analytic payloads
+    if aggregate_body is not None:
+        for pos in topo.agg_positions():
+            lo, hi = topo.agg_span(pos)
+            sim.process(
+                aggregate_body(pos, lo, hi, topo.contrib_weight(pos),
+                               overlay.endpoint(pos)),
+                name=f"tbon-agg:{pos}")
 
     t_hs0 = sim.now
     yield sim.timeout(per_be_handshake * n_be)

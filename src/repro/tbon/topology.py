@@ -4,6 +4,17 @@ A topology is pure structure; placement onto cluster nodes happens at
 startup. Position 0 is always the front end. The paper's Figure 6 uses the
 ``1-deep`` (flat) shape: every back end is a direct child of the front end,
 with no communication daemons.
+
+Hybrid topologies additionally carry ``"agg"`` leaves: aggregate positions
+standing in for a contiguous run of homogeneous back-end leaves (for flat
+trees) or whole comm subtrees (for balanced trees).  An aggregate position
+is never placed on a cluster node and never spawns a daemon process; its
+launch/handshake/stream contributions are charged analytically from the
+perfmodel.  ``aggregates`` records ``(position, leaf_lo, leaf_hi,
+n_contrib)`` for each such node, where ``leaf_lo..leaf_hi`` is the span of
+*virtual* leaf indices covered and ``n_contrib`` is the number of physical
+child messages the node stands in for at its parent (leaves for flat trees,
+comm daemons for balanced trees).
 """
 
 from __future__ import annotations
@@ -22,12 +33,13 @@ class TopologyError(ValueError):
 class TBONTopology:
     """A rooted tree: ``parent[p]`` is None only for the root (position 0).
 
-    ``kind[p]`` is one of ``"fe"``, ``"comm"``, ``"be"``. Leaves must all be
-    back ends and internal positions must be fe/comm.
+    ``kind[p]`` is one of ``"fe"``, ``"comm"``, ``"be"``, ``"agg"``. Leaves
+    must be back ends or aggregates and internal positions must be fe/comm.
     """
 
     parent: tuple[Optional[int], ...]
     kind: tuple[str, ...]
+    aggregates: tuple = ()
 
     def __post_init__(self):
         if not self.parent or self.parent[0] is not None:
@@ -48,10 +60,21 @@ class TBONTopology:
             kids[par].append(p)
         for p in range(n):
             is_leaf = not kids[p]
-            if is_leaf and p != 0 and self.kind[p] != "be":
+            if is_leaf and p != 0 and self.kind[p] not in ("be", "agg"):
                 raise TopologyError(f"leaf position {p} is {self.kind[p]}")
-            if not is_leaf and self.kind[p] == "be":
-                raise TopologyError(f"internal position {p} is a back end")
+            if not is_leaf and self.kind[p] in ("be", "agg"):
+                raise TopologyError(f"internal position {p} is a leaf kind")
+        agg_index: dict[int, tuple[int, int, int]] = {}
+        for entry in self.aggregates:
+            pos, lo, hi, n_contrib = entry
+            if not 0 <= pos < n or self.kind[pos] != "agg":
+                raise TopologyError(f"aggregate entry at non-agg position {pos}")
+            if lo >= hi or n_contrib < 1:
+                raise TopologyError(f"degenerate aggregate span at position {pos}")
+            agg_index[pos] = (lo, hi, n_contrib)
+        declared = {p for p in range(n) if self.kind[p] == "agg"}
+        if declared != set(agg_index):
+            raise TopologyError("agg positions and aggregates metadata disagree")
         # frozen dataclass: stash the derived indexes via object.__setattr__
         # (instance state only -- field-based __eq__/__hash__ are unaffected)
         object.__setattr__(self, "_kids", tuple(tuple(k) for k in kids))
@@ -61,6 +84,13 @@ class TBONTopology:
         object.__setattr__(
             self, "_comms",
             tuple(p for p in range(n) if self.kind[p] == "comm"))
+        object.__setattr__(self, "_agg_index", agg_index)
+        object.__setattr__(
+            self, "_leaves",
+            tuple(p for p in range(n) if self.kind[p] in ("be", "agg")))
+        object.__setattr__(
+            self, "_virtual_leaves",
+            len(self._backends) + sum(hi - lo for lo, hi, _ in agg_index.values()))
 
     # -- queries ------------------------------------------------------------
     @property
@@ -71,10 +101,60 @@ class TBONTopology:
         return list(self._kids[p])
 
     def backends(self) -> list[int]:
+        """Positions of *simulated* back ends (excludes aggregates)."""
         return list(self._backends)
 
     def comm_positions(self) -> list[int]:
         return list(self._comms)
+
+    def leaves(self) -> list[int]:
+        """All leaf positions -- simulated back ends AND aggregate nodes.
+
+        This is the aggregate-aware accessor hot paths should use instead
+        of iterating ``backends()`` directly (see the ``agg-leaves``
+        simlint rule)."""
+        return list(self._leaves)
+
+    def agg_positions(self) -> list[int]:
+        return sorted(self._agg_index)
+
+    def agg_span(self, p: int) -> tuple[int, int]:
+        """Virtual leaf-index span ``(lo, hi)`` covered by aggregate ``p``."""
+        lo, hi, _ = self._agg_index[p]
+        return lo, hi
+
+    def leaf_weight(self, p: int) -> int:
+        """Number of virtual leaves position ``p`` stands in for."""
+        if p in self._agg_index:
+            lo, hi, _ = self._agg_index[p]
+            return hi - lo
+        return 1 if self.kind[p] == "be" else 0
+
+    def contrib_weight(self, p: int) -> int:
+        """Number of physical child messages position ``p`` stands in for
+        at its parent (1 for every simulated position)."""
+        if p in self._agg_index:
+            return self._agg_index[p][2]
+        return 1
+
+    def virtual_child_count(self, p: int) -> int:
+        """Child count of ``p`` with aggregates expanded to the physical
+        fan-in they model."""
+        return sum(self.contrib_weight(c) for c in self._kids[p])
+
+    def virtual_leaf_count(self) -> int:
+        """Total leaves with aggregates expanded (== n_daemons modeled)."""
+        return self._virtual_leaves
+
+    def virtual_daemon_count(self) -> int:
+        """All modeled daemons: simulated positions (minus the FE and the
+        aggregate placeholders) plus each aggregate's collapsed leaves and,
+        for grouped aggregates, its collapsed comm daemons."""
+        n = self.size - 1 - len(self._agg_index)
+        for lo, hi, n_contrib in self._agg_index.values():
+            span = hi - lo
+            n += span + (n_contrib if n_contrib < span else 0)
+        return n
 
     def depth(self) -> int:
         best = 0
@@ -88,13 +168,17 @@ class TBONTopology:
 
     def to_jsonable(self) -> dict:
         """Wire form for LMONP piggybacking / topology files."""
-        return {"parent": [(-1 if p is None else p) for p in self.parent],
-                "kind": list(self.kind)}
+        obj = {"parent": [(-1 if p is None else p) for p in self.parent],
+               "kind": list(self.kind)}
+        if self.aggregates:
+            obj["aggregates"] = [list(entry) for entry in self.aggregates]
+        return obj
 
     @classmethod
     def from_jsonable(cls, obj: dict) -> "TBONTopology":
         parent = tuple(None if p == -1 else p for p in obj["parent"])
-        return cls(parent, tuple(obj["kind"]))
+        aggregates = tuple(tuple(e) for e in obj.get("aggregates", ()))
+        return cls(parent, tuple(obj["kind"]), aggregates)
 
     # -- constructors ----------------------------------------------------------
     @classmethod
@@ -123,3 +207,64 @@ class TBONTopology:
             parent.append(1 + b % n_comm)
             kind.append("be")
         return cls(tuple(parent), tuple(kind))
+
+    @classmethod
+    def hybrid_one_deep(cls, plan) -> "TBONTopology":
+        """Flat hybrid tree from an :class:`~repro.simx.aggregate.AggregationPlan`.
+
+        Exact leaves become real BE children of the FE in leaf order (so
+        ``backends()`` still zips against the RPDTAB host list); each
+        aggregate subtree becomes one ``"agg"`` child inserted at its
+        place in leaf order."""
+        parent: list[Optional[int]] = [None]
+        kind = ["fe"]
+        aggregates = []
+        starts = {sub.leaf_lo: sub for sub in plan.subtrees}
+        leaf = 0
+        while leaf < plan.n_total:
+            sub = starts.get(leaf)
+            if sub is not None:
+                aggregates.append((len(parent), sub.leaf_lo, sub.leaf_hi, sub.n_contrib))
+                parent.append(0)
+                kind.append("agg")
+                leaf = sub.leaf_hi
+            else:
+                parent.append(0)
+                kind.append("be")
+                leaf += 1
+        return cls(tuple(parent), tuple(kind), tuple(aggregates))
+
+    @classmethod
+    def hybrid_balanced(cls, plan, fanout: int) -> "TBONTopology":
+        """Balanced hybrid tree: exact groups keep their comm + contiguous
+        BEs; each aggregate subtree (a run of whole groups) becomes one
+        ``"agg"`` child of the FE standing in for ``n_contrib`` comms.
+
+        Requires ``plan.group == fanout`` so the aggregation boundary is
+        comm-subtree aligned."""
+        if plan.group != fanout:
+            raise TopologyError(
+                f"balanced hybrid needs group-aligned plan (group {plan.group} != fanout {fanout})"
+            )
+        parent: list[Optional[int]] = [None]
+        kind = ["fe"]
+        aggregates = []
+        starts = {sub.leaf_lo: sub for sub in plan.subtrees}
+        leaf = 0
+        while leaf < plan.n_total:
+            sub = starts.get(leaf)
+            if sub is not None:
+                aggregates.append((len(parent), sub.leaf_lo, sub.leaf_hi, sub.n_contrib))
+                parent.append(0)
+                kind.append("agg")
+                leaf = sub.leaf_hi
+            else:
+                comm_pos = len(parent)
+                parent.append(0)
+                kind.append("comm")
+                group = min(fanout, plan.n_total - leaf)
+                for _ in range(group):
+                    parent.append(comm_pos)
+                    kind.append("be")
+                leaf += group
+        return cls(tuple(parent), tuple(kind), tuple(aggregates))

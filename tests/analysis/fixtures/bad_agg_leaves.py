@@ -1,0 +1,11 @@
+"""Fixture: simulated-only leaf iteration in a hybrid hot-path module."""
+
+
+def flood(topo, overlay):
+    for pos in topo.backends():  # fires: drops aggregate spans
+        print(pos)
+    n = len(overlay.live_backends())  # fires: simulated-only count
+    allowed = topo.backends()  # simlint: allow[agg-leaves] -- placement only
+    ok = topo.leaves()  # aggregate-aware accessor: quiet
+    also_ok = overlay.live_leaves()  # quiet
+    return n, allowed, ok, also_ok

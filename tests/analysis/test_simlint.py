@@ -56,6 +56,17 @@ class TestFixturesFire:
         # plain helper and the non-generator outer stay quiet
         assert len(findings) == 3
 
+    def test_agg_leaves_needs_agg_aware_flag(self):
+        path = FIXTURES / "bad_agg_leaves.py"
+        # not a registered hybrid hot-path module: the rule is scoped off
+        assert lint_file(path) == []
+        findings = lint_file(path, agg_aware=True)
+        assert rules_fired(findings) == ["agg-leaves"]
+        # .backends() and .live_backends() fire; the allowed site and the
+        # aggregate-aware leaves()/live_leaves() stay quiet
+        assert len(findings) == 2
+        assert all("leaves()" in f.message for f in findings)
+
     def test_suppressions_silence_everything(self):
         assert lint_file(FIXTURES / "good_suppressed.py", hot=True) == []
 
@@ -112,7 +123,8 @@ class TestRealTree:
 
     def test_every_rule_has_a_description(self):
         assert set(RULES) == {"wall-clock", "unseeded-random",
-                              "linear-scan", "sweep-pickle", "blocking-io"}
+                              "linear-scan", "sweep-pickle", "blocking-io",
+                              "agg-leaves"}
         assert all(desc for desc in RULES.values())
 
 

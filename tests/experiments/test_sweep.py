@@ -4,10 +4,12 @@ import pytest
 
 from repro.experiments import run_fig6, run_launch_matrix
 from repro.experiments.cli import (
+    HYBRID_EXPERIMENTS,
     QUICK_SWEEPS,
     RUNNERS,
     SCALE_SWEEPS,
     XL_SWEEPS,
+    XXL_SWEEPS,
     main as cli_main,
 )
 from repro.experiments.sweep import default_jobs, map_grid
@@ -75,11 +77,29 @@ class TestCliScaleAndJobs:
     def test_scale_tiers_cover_every_experiment(self):
         assert set(QUICK_SWEEPS) == set(RUNNERS)
         assert set(XL_SWEEPS) == set(RUNNERS)
-        assert set(SCALE_SWEEPS) == {"quick", "full", "xl"}
+        assert set(SCALE_SWEEPS) == {"quick", "full", "xl", "xxl"}
 
     def test_xl_tier_reaches_64k_daemons(self):
         assert 65536 in XL_SWEEPS["fig6"]["node_counts"]
         assert 16384 in XL_SWEEPS["lmx"]["daemon_counts"]
+
+    def test_xxl_tier_is_hybrid_only_at_1m_daemons(self):
+        # the xxl tier exists only for the hybrid-capable experiments
+        # and always runs them through the aggregation tier
+        assert set(XXL_SWEEPS) == set(HYBRID_EXPERIMENTS)
+        assert XXL_SWEEPS["fig6"]["node_counts"] == (1048576,)
+        assert XXL_SWEEPS["str"]["leaf_counts"] == (1048576,)
+        assert all(sweep["hybrid"] for sweep in XXL_SWEEPS.values())
+
+    def test_cli_rejects_xxl_for_non_hybrid_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["table1", "--scale", "xxl"])
+        assert "xxl" in capsys.readouterr().err
+
+    def test_cli_rejects_hybrid_for_non_hybrid_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["table1", "--hybrid"])
+        assert "hybrid" in capsys.readouterr().err
 
     def test_cli_quick_with_jobs(self, capsys):
         assert cli_main(["table1", "--quick", "--jobs", "2"]) == 0

@@ -1,0 +1,188 @@
+"""The hybrid tier's contract: aggregation plans and hybrid-vs-full parity.
+
+Three layers of guarantee, cheapest first:
+
+* **plan algebra** -- :class:`AggregationPlan` partitions the leaf space,
+  respects group alignment, keeps ragged tails exact, and its
+  auto-expanded exact region always contains every special position
+  (property-tested over random fault/tap placements);
+* **topology construction** -- hybrid trees preserve the virtual leaf and
+  daemon counts of the full trees they stand in for;
+* **end-to-end parity** -- a hybrid fig6 launch matches the full
+  simulation's virtual total within the model's error band with exact
+  class counts, a hybrid stream delivers bit-identical wave payloads and
+  final state, and the non-hybrid paths stay bit-identical run to run
+  (the hybrid machinery must be invisible when off).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simx import AggregationError, AggregationPlan, auto_expand
+from repro.tbon import TBONTopology
+
+
+class TestPlanBuild:
+    def test_partition_and_head_rounding(self):
+        plan = AggregationPlan.build(64, exact_head=5, group=4)
+        # head rounds up to a group boundary
+        assert plan.exact_head == 8
+        assert set(plan.exact) == set(range(8))
+        assert plan.n_exact + plan.n_aggregated == 64
+        [sub] = plan.subtrees
+        assert (sub.leaf_lo, sub.leaf_hi, sub.n_contrib) == (8, 64, 14)
+
+    def test_special_deaggregates_its_whole_group(self):
+        plan = AggregationPlan.build(64, exact_head=8, special=(42,), group=8)
+        assert set(range(40, 48)) <= set(plan.exact)
+        assert all(not sub.covers(42) for sub in plan.subtrees)
+        # the runs on either side of the special group stay aggregated
+        assert {(s.leaf_lo, s.leaf_hi) for s in plan.subtrees} == \
+            {(8, 40), (48, 64)}
+
+    def test_ragged_tail_stays_exact(self):
+        plan = AggregationPlan.build(1000, exact_head=16, group=16)
+        tail = set(range(992, 1000))
+        assert tail <= set(plan.exact)
+        assert all(sub.leaf_hi <= 992 for sub in plan.subtrees)
+
+    def test_fully_exact_when_head_covers_everything(self):
+        plan = AggregationPlan.build(32, exact_head=32, group=4)
+        assert plan.n_aggregated == 0 and not plan.subtrees
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(AggregationError):
+            AggregationPlan.build(0)
+        with pytest.raises(AggregationError):
+            AggregationPlan.build(8, group=0)
+        with pytest.raises(AggregationError):
+            AggregationPlan.build(8, special=(9,))
+
+    def test_with_special_only_grows_the_exact_region(self):
+        plan = AggregationPlan.build(256, exact_head=16, group=16)
+        grown = plan.with_special(200)
+        assert set(plan.exact) <= set(grown.exact)
+        assert grown.is_exact(200)
+        # already-exact specials are a no-op (same object back)
+        assert grown.with_special(200) is grown
+
+
+class TestAutoExpandProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_exact_region_always_contains_every_special(self, data):
+        n_total = data.draw(st.integers(min_value=1, max_value=4096))
+        group = data.draw(st.sampled_from((1, 2, 4, 8, 16)))
+        exact_head = data.draw(st.integers(min_value=0, max_value=n_total))
+        leaves = st.integers(min_value=0, max_value=n_total - 1)
+        faults = data.draw(st.lists(leaves, max_size=6))
+        taps = data.draw(st.lists(leaves, max_size=6))
+        repairs = data.draw(st.lists(leaves, max_size=3))
+        black = data.draw(st.lists(leaves, max_size=3))
+
+        plan = auto_expand(
+            AggregationPlan.build(n_total, exact_head=exact_head,
+                                  group=group),
+            fault_leaves=faults, tap_leaves=taps,
+            repair_leaves=repairs, blacklisted=black)
+
+        specials = set(faults) | set(taps) | set(repairs) | set(black)
+        exact = set(plan.exact)
+        assert specials <= exact
+        # ...and each special pulled its whole group out of aggregation
+        for leaf in specials:
+            lo = (leaf // group) * group
+            assert set(range(lo, min(lo + group, n_total))) <= exact
+        # plan invariants: exact + subtree spans partition the leaf space
+        covered = sorted(set(plan.exact) | {
+            leaf for sub in plan.subtrees
+            for leaf in range(sub.leaf_lo, sub.leaf_hi)})
+        assert covered == list(range(n_total))
+        assert plan.n_exact + plan.n_aggregated == n_total
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_hybrid_topologies_preserve_virtual_counts(self, data):
+        fanout = data.draw(st.sampled_from((2, 4, 8, 16)))
+        # grouped aggregation only makes sense with a real comm layer
+        # (n_total > fanout); below that balanced() degenerates to one-deep
+        n_total = data.draw(st.integers(min_value=fanout + 1,
+                                        max_value=1024))
+        exact_head = data.draw(st.integers(min_value=0, max_value=n_total))
+        specials = data.draw(st.lists(
+            st.integers(min_value=0, max_value=n_total - 1), max_size=4))
+
+        flat_plan = auto_expand(
+            AggregationPlan.build(n_total, exact_head=exact_head),
+            tap_leaves=specials)
+        flat = TBONTopology.hybrid_one_deep(flat_plan)
+        assert flat.virtual_leaf_count() == n_total
+        assert flat.virtual_daemon_count() == n_total
+        assert len(flat.backends()) == flat_plan.n_exact
+
+        grouped = auto_expand(
+            AggregationPlan.build(n_total, exact_head=exact_head,
+                                  group=fanout),
+            tap_leaves=specials)
+        tree = TBONTopology.hybrid_balanced(grouped, fanout)
+        assert tree.virtual_leaf_count() == n_total
+        full = TBONTopology.balanced(n_total, fanout)
+        # same modeled daemon population as the full balanced tree
+        assert tree.virtual_daemon_count() == full.size - 1
+
+
+class TestHybridVsFullParity:
+    def test_fig6_hybrid_matches_full_within_model_band(self):
+        from repro.experiments.fig6 import measure_stat_startup
+
+        full = measure_stat_startup(2048, "launchmon", tasks_per_daemon=1)
+        hybrid = measure_stat_startup(2048, "launchmon", tasks_per_daemon=1,
+                                      hybrid=True, exact_head=256)
+        assert hybrid["classes"] == full["classes"]
+        assert hybrid["n_tasks"] == full["n_tasks"]
+        err = abs(hybrid["startup"].total - full["startup"].total) \
+            / full["startup"].total
+        assert err < 0.05, f"hybrid fig6 off by {err:.2%}"
+        # the hybrid point must actually be cheaper to simulate
+        assert hybrid["sim_events"] < full["sim_events"]
+
+    def test_stream_hybrid_delivers_bit_identical_waves(self):
+        from repro.experiments.streaming import measure_stream
+
+        for filter_name in ("histogram", "top_k", "ewma"):
+            full = measure_stream(512, filter_name=filter_name, window=4,
+                                  credit_limit=4, n_waves=6)
+            hybrid = measure_stream(512, filter_name=filter_name, window=4,
+                                    credit_limit=4, n_waves=6, hybrid=True,
+                                    exact_head=64)
+            assert hybrid["waves"] == full["waves"], filter_name
+            assert hybrid["final_state"] == full["final_state"], filter_name
+            assert hybrid["delivered"] == full["delivered"]
+            assert hybrid["sim_events"] < full["sim_events"]
+            err = abs(hybrid["throughput"] - full["throughput"]) \
+                / full["throughput"]
+            assert err < 0.05, f"{filter_name} throughput off by {err:.2%}"
+
+    def test_stream_hybrid_exact_on_ragged_leaf_count(self):
+        from repro.experiments.streaming import measure_stream
+
+        full = measure_stream(500, filter_name="histogram", window=4,
+                              credit_limit=4, n_waves=4)
+        hybrid = measure_stream(500, filter_name="histogram", window=4,
+                                credit_limit=4, n_waves=4, hybrid=True,
+                                exact_head=64)
+        assert hybrid["waves"] == full["waves"]
+        assert hybrid["final_state"] == full["final_state"]
+
+    def test_non_hybrid_paths_stay_bit_identical(self):
+        from repro.experiments.fig6 import measure_stat_startup
+        from repro.experiments.streaming import measure_stream
+
+        a = measure_stat_startup(512, "launchmon", tasks_per_daemon=1)
+        b = measure_stat_startup(512, "launchmon", tasks_per_daemon=1)
+        assert a["startup"].total == b["startup"].total
+        assert a["sim_events"] == b["sim_events"]
+        sa = measure_stream(128, n_waves=4)
+        sb = measure_stream(128, n_waves=4)
+        assert sa["total_latency"] == sb["total_latency"]
+        assert sa["waves"] == sb["waves"]

@@ -110,4 +110,23 @@ class TestStatsParity:
             assert d["fast_events"] == sim.stats.fast_events
             assert d["heap_pushes"] == sim.stats.heap_pushes
             assert d["heap_high_water"] == sim.stats.heap_high_water
+            assert d["live_high_water"] == sim.stats.live_high_water
+            assert d["peak_rss_kb"] == sim.stats.peak_rss_kb
             assert sim.stats.wall_time >= 0.0
+
+    def test_live_high_water_bounds_the_heap_high_water(self, workload):
+        for fast_lane in (True, False):
+            sim = Simulator(fast_lane=fast_lane)
+            workload(sim)
+            stats = sim.stats
+            # the live footprint covers the heap plus both lanes, so it
+            # can never sit below the heap-only high water
+            assert stats.live_high_water >= stats.heap_high_water
+            assert stats.live_high_water > 0
+
+    def test_peak_rss_sampled_after_run(self, workload):
+        pytest.importorskip("resource")
+        sim = Simulator()
+        workload(sim)
+        # any real process has a nonzero max RSS once run() returned
+        assert sim.stats.peak_rss_kb > 0
