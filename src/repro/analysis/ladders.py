@@ -24,6 +24,7 @@ few seconds of CI time.
 
 from __future__ import annotations
 
+import gc
 import warnings
 from dataclasses import dataclass
 from time import perf_counter
@@ -36,15 +37,36 @@ __all__ = ["LADDERS", "Ladder", "collect_samples", "dropped_metric_points",
            "str_ladder_point", "str_hybrid_ladder_point"]
 
 
+def _timed(measure: Callable[[], dict]) -> tuple[dict, float]:
+    """Run one point under a quiesced collector; return (result, wall).
+
+    The wall metric is the only thing here that sees the host process,
+    and the host is often a long test session with a large live heap:
+    a generational collection triggered mid-measurement scans that whole
+    heap, a near-constant cost that inflates *small* ladder points
+    disproportionately and flattens the fitted exponent below the
+    detection limit. Pay the collection before the clock starts and
+    freeze survivors out of the collector's reach for the duration.
+    """
+    gc.collect()
+    gc.freeze()
+    try:
+        # harness measurement bracketing a whole simulator run, never
+        # read inside one
+        t0 = perf_counter()  # simlint: allow[wall-clock]
+        result = measure()
+        wall = perf_counter() - t0  # simlint: allow[wall-clock]
+    finally:
+        gc.unfreeze()
+    return result, wall
+
+
 def fig6_ladder_point(n: int) -> dict:
     """Launch-path point: one fig6 LaunchMON startup at ``n`` daemons."""
     from repro.experiments.fig6 import measure_stat_startup
 
-    # harness measurement bracketing a whole simulator run, never read
-    # inside one
-    t0 = perf_counter()  # simlint: allow[wall-clock]
-    box = measure_stat_startup(n, "launchmon", tasks_per_daemon=1)
-    wall = perf_counter() - t0  # simlint: allow[wall-clock]
+    box, wall = _timed(lambda: measure_stat_startup(
+        n, "launchmon", tasks_per_daemon=1))
     report = box["startup"]
     metrics = dict(report.phases())
     metrics["virtual_total"] = report.total
@@ -58,10 +80,8 @@ def fig6_hybrid_ladder_point(n: int) -> dict:
     exact head is simulated; aggregate spans contribute model terms."""
     from repro.experiments.fig6 import measure_stat_startup
 
-    t0 = perf_counter()  # simlint: allow[wall-clock]
-    box = measure_stat_startup(n, "launchmon", tasks_per_daemon=1,
-                               hybrid=True)
-    wall = perf_counter() - t0  # simlint: allow[wall-clock]
+    box, wall = _timed(lambda: measure_stat_startup(
+        n, "launchmon", tasks_per_daemon=1, hybrid=True))
     report = box["startup"]
     metrics = dict(report.phases())
     metrics["virtual_total"] = report.total
@@ -74,10 +94,8 @@ def str_ladder_point(n: int) -> dict:
     """Data-plane point: a sustained stream over ``n`` leaves."""
     from repro.experiments.streaming import measure_stream
 
-    t0 = perf_counter()  # simlint: allow[wall-clock]
-    cell = measure_stream(n, filter_name="histogram", window=4,
-                          credit_limit=4, n_waves=10)
-    wall = perf_counter() - t0  # simlint: allow[wall-clock]
+    cell, wall = _timed(lambda: measure_stream(
+        n, filter_name="histogram", window=4, credit_limit=4, n_waves=10))
     metrics = dict(cell["phase_totals"])
     metrics["virtual_total"] = cell["total_latency"]
     metrics["sim_events"] = float(cell["sim_events"])
@@ -90,10 +108,9 @@ def str_hybrid_ladder_point(n: int) -> dict:
     closed-form merged payloads with model-derived delays."""
     from repro.experiments.streaming import measure_stream
 
-    t0 = perf_counter()  # simlint: allow[wall-clock]
-    cell = measure_stream(n, filter_name="histogram", window=4,
-                          credit_limit=4, n_waves=10, hybrid=True)
-    wall = perf_counter() - t0  # simlint: allow[wall-clock]
+    cell, wall = _timed(lambda: measure_stream(
+        n, filter_name="histogram", window=4, credit_limit=4, n_waves=10,
+        hybrid=True))
     metrics = dict(cell["phase_totals"])
     metrics["virtual_total"] = cell["total_latency"]
     metrics["sim_events"] = float(cell["sim_events"])

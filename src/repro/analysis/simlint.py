@@ -91,6 +91,12 @@ HOT_PATH_MODULES = (
     "repro/tbon/flow.py",
     "repro/cluster/node.py",
     "repro/rm/base.py",
+    # the control plane checkpoints on *every* session transition, and
+    # restore sweeps the whole RM allocation ledger: per-session scans
+    # here compound across the soak's hundreds of restart points
+    "repro/ctl/daemon.py",
+    "repro/ctl/checkpoint.py",
+    "repro/ctl/restore.py",
 )
 
 #: modules the hybrid tier runs through: anywhere here that iterates the

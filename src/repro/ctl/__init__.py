@@ -1,0 +1,52 @@
+"""Persistent control-plane daemon: lifecycle, checkpoint/restore, adoption.
+
+The simulated equivalent of running the tool-launching service as a
+long-lived daemon instead of a per-run library: a
+:class:`~repro.ctl.daemon.ControlPlane` supervisor with idempotent
+``start``/``stop``/``status``/``reload`` verbs, per-generation
+:class:`~repro.ctl.daemon.CtlDaemon` processes checkpointing session
+state on every transition (:mod:`repro.ctl.checkpoint`), and a restore
+path (:mod:`repro.ctl.restore`) that re-adopts live daemon trees across
+a daemon restart without relaunching them. ``tests/ctl`` holds the
+crash-restart harness driving randomized kill points against all of it.
+"""
+
+from repro.ctl.checkpoint import (CHECKPOINT_VERSION, Checkpoint,
+                                  CheckpointError, CheckpointVersionError,
+                                  QueueRecord, SessionRecord,
+                                  decode_checkpoint, encode_checkpoint)
+from repro.ctl.client import CtlClient
+from repro.ctl.daemon import ControlPlane, CtlDaemon, CtlSession, DaemonState
+from repro.ctl.errors import CtlError, CtlUnavailable, UnknownToolError
+from repro.ctl.registry import (CTL_STREAM_ID, LaunchSpec, get_tool,
+                                register_tool, tool_names)
+from repro.ctl.restore import RestoreReport, restore, restore_from_store
+from repro.ctl.store import CheckpointStore
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CTL_STREAM_ID",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointStore",
+    "CheckpointVersionError",
+    "ControlPlane",
+    "CtlClient",
+    "CtlDaemon",
+    "CtlError",
+    "CtlSession",
+    "CtlUnavailable",
+    "DaemonState",
+    "LaunchSpec",
+    "QueueRecord",
+    "RestoreReport",
+    "SessionRecord",
+    "UnknownToolError",
+    "decode_checkpoint",
+    "encode_checkpoint",
+    "get_tool",
+    "register_tool",
+    "restore",
+    "restore_from_store",
+    "tool_names",
+]

@@ -1,0 +1,311 @@
+"""Versioned, deterministic session-state checkpoints.
+
+The control-plane daemon (:mod:`repro.ctl.daemon`) persists its
+client-visible state -- live sessions, the RM allocation queue it left
+behind, the node blacklist -- into a :class:`CheckpointStore` on every
+state transition. A restarted daemon decodes the latest checkpoint and
+re-adopts what it describes (:mod:`repro.ctl.restore`).
+
+Format contract
+---------------
+* **Canonical encoding.** :func:`encode_checkpoint` emits one JSON
+  document with sorted keys, compact separators and ASCII escaping, so
+  the same :class:`Checkpoint` value always encodes to the same bytes
+  (``encode(decode(b)) == b`` and ``decode(encode(c)) == c``, both
+  bit/value-identical). Determinism is what makes checkpoint churn
+  auditable: a transition that did not change client-visible state
+  writes identical bytes.
+* **Versioned.** The document carries ``"version"``; this codec reads
+  exactly :data:`CHECKPOINT_VERSION`. Any other version raises
+  :class:`CheckpointVersionError` *before* any field is interpreted.
+* **Strict.** Unknown fields are rejected with a versioned
+  :class:`CheckpointError` rather than ignored: a field this codec does
+  not know about was written by a future daemon, and silently dropping
+  it on a rolling *downgrade* would corrupt state that the newer daemon
+  depended on. Forward compatibility is a version bump, not leniency.
+
+``NaN``/``Infinity`` are refused on encode (``allow_nan=False``) -- they
+are not valid JSON and would break the bit-identical round trip.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointVersionError",
+    "QueueRecord",
+    "SessionRecord",
+    "decode_checkpoint",
+    "encode_checkpoint",
+]
+
+#: format version this codec reads and writes
+CHECKPOINT_VERSION = 1
+
+#: session states a checkpoint can describe (terminal states are dropped
+#: at build time -- there is nothing to adopt)
+RECORD_STATES = ("queued", "spawning", "ready", "degraded", "mw-ready")
+
+
+class CheckpointError(ValueError):
+    """A checkpoint document is malformed for its declared version.
+
+    ``version`` is the format version the error was raised against (the
+    document's own claim when it could be read, else this codec's)."""
+
+    def __init__(self, message: str, version: Optional[int] = None):
+        self.version = CHECKPOINT_VERSION if version is None else version
+        super().__init__(f"[checkpoint v{self.version}] {message}")
+
+
+class CheckpointVersionError(CheckpointError):
+    """The document's version is one this codec does not read."""
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """One live session as the daemon last saw it.
+
+    ``params`` is the session's :class:`~repro.ctl.registry.LaunchSpec`
+    parameters as a tuple of ``(key, value)`` pairs -- enough to
+    *resubmit* the launch if it had not reached a daemon tree yet.
+    ``jobid`` / ``alloc_ids`` name the RM-side objects (which survive a
+    control-plane death) -- enough to *adopt* a live tree without
+    relaunching it. ``jobid`` 0 means no job existed yet.
+    """
+
+    ctl_id: int
+    tool_name: str
+    tool: str
+    n_nodes: int
+    params: Tuple[Tuple[str, Any], ...]
+    state: str
+    session_id: int
+    jobid: int
+    alloc_ids: Tuple[int, ...]
+    has_overlay: bool
+    submitted_at: float
+
+
+@dataclass(frozen=True)
+class QueueRecord:
+    """One entry of the RM's FIFO allocation queue at checkpoint time.
+
+    The grant event itself is process state and died with the daemon;
+    what survives is the *shape* of pending contention, recorded so a
+    restore can audit what it withdraws (see
+    :meth:`~repro.rm.base.ResourceManager.withdraw_all_queued`).
+    """
+
+    n_nodes: int
+    t_req: float
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """The daemon's full durable state at one instant."""
+
+    generation: int
+    next_ctl_id: int
+    max_in_flight: Optional[int]
+    written_at: float
+    sessions: Tuple[SessionRecord, ...]
+    alloc_queue: Tuple[QueueRecord, ...]
+    blacklist: Tuple[str, ...]
+
+
+# ---------------------------------------------------------------------------
+# encode
+# ---------------------------------------------------------------------------
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _check_param_pairs(params: Any, where: str) -> Tuple[Tuple[str, Any], ...]:
+    out = []
+    for pair in params:
+        pair = tuple(pair)
+        if len(pair) != 2 or not isinstance(pair[0], str) \
+                or not isinstance(pair[1], _SCALARS):
+            raise CheckpointError(
+                f"{where}: params must be (str, scalar) pairs, got {pair!r}")
+        out.append(pair)
+    return tuple(out)
+
+
+def encode_checkpoint(cp: Checkpoint) -> bytes:
+    """Serialize ``cp`` to canonical JSON bytes (see module docstring)."""
+    doc = {
+        "version": CHECKPOINT_VERSION,
+        "generation": cp.generation,
+        "next_ctl_id": cp.next_ctl_id,
+        "max_in_flight": cp.max_in_flight,
+        "written_at": cp.written_at,
+        "sessions": [
+            {
+                "ctl_id": r.ctl_id,
+                "tool_name": r.tool_name,
+                "tool": r.tool,
+                "n_nodes": r.n_nodes,
+                "params": [list(p) for p in
+                           _check_param_pairs(r.params, f"session {r.ctl_id}")],
+                "state": r.state,
+                "session_id": r.session_id,
+                "jobid": r.jobid,
+                "alloc_ids": list(r.alloc_ids),
+                "has_overlay": r.has_overlay,
+                "submitted_at": r.submitted_at,
+            }
+            for r in cp.sessions
+        ],
+        "alloc_queue": [{"n_nodes": q.n_nodes, "t_req": q.t_req}
+                        for q in cp.alloc_queue],
+        "blacklist": list(cp.blacklist),
+    }
+    try:
+        text = json.dumps(doc, sort_keys=True, separators=(",", ":"),
+                          allow_nan=False)
+    except ValueError as exc:  # NaN / Infinity
+        raise CheckpointError(f"non-finite float in checkpoint: {exc}")
+    return text.encode("ascii")
+
+
+# ---------------------------------------------------------------------------
+# decode (strict)
+# ---------------------------------------------------------------------------
+
+def _require(cond: bool, msg: str, version: Optional[int] = None) -> None:
+    if not cond:
+        raise CheckpointError(msg, version=version)
+
+
+def _int(doc: dict, key: str, where: str) -> int:
+    v = doc.get(key)
+    _require(isinstance(v, int) and not isinstance(v, bool),
+             f"{where}: field {key!r} must be an integer, got {v!r}")
+    return v
+
+
+def _num(doc: dict, key: str, where: str) -> float:
+    v = doc.get(key)
+    _require(isinstance(v, (int, float)) and not isinstance(v, bool),
+             f"{where}: field {key!r} must be a number, got {v!r}")
+    return v
+
+
+def _str(doc: dict, key: str, where: str) -> str:
+    v = doc.get(key)
+    _require(isinstance(v, str), f"{where}: field {key!r} must be a string")
+    return v
+
+
+def _check_keys(doc: dict, known: frozenset, where: str) -> None:
+    unknown = sorted(set(doc) - known)
+    _require(not unknown,
+             f"{where}: unknown field(s) {unknown} -- written by a newer "
+             f"daemon? refusing to drop state it may depend on")
+    missing = sorted(known - set(doc))
+    _require(not missing, f"{where}: missing field(s) {missing}")
+
+
+_TOP_KEYS = frozenset({
+    "version", "generation", "next_ctl_id", "max_in_flight", "written_at",
+    "sessions", "alloc_queue", "blacklist"})
+_SESSION_KEYS = frozenset({
+    "ctl_id", "tool_name", "tool", "n_nodes", "params", "state",
+    "session_id", "jobid", "alloc_ids", "has_overlay", "submitted_at"})
+_QUEUE_KEYS = frozenset({"n_nodes", "t_req"})
+
+
+def _decode_session(doc: Any, i: int) -> SessionRecord:
+    where = f"sessions[{i}]"
+    _require(isinstance(doc, dict), f"{where}: must be an object")
+    _check_keys(doc, _SESSION_KEYS, where)
+    state = _str(doc, "state", where)
+    _require(state in RECORD_STATES,
+             f"{where}: unknown session state {state!r} "
+             f"(known: {list(RECORD_STATES)})")
+    params_raw = doc["params"]
+    _require(isinstance(params_raw, list), f"{where}: params must be a list")
+    alloc_ids = doc["alloc_ids"]
+    _require(isinstance(alloc_ids, list) and all(
+        isinstance(a, int) and not isinstance(a, bool) for a in alloc_ids),
+        f"{where}: alloc_ids must be a list of integers")
+    has_overlay = doc["has_overlay"]
+    _require(isinstance(has_overlay, bool),
+             f"{where}: has_overlay must be a boolean")
+    return SessionRecord(
+        ctl_id=_int(doc, "ctl_id", where),
+        tool_name=_str(doc, "tool_name", where),
+        tool=_str(doc, "tool", where),
+        n_nodes=_int(doc, "n_nodes", where),
+        params=_check_param_pairs(params_raw, where),
+        state=state,
+        session_id=_int(doc, "session_id", where),
+        jobid=_int(doc, "jobid", where),
+        alloc_ids=tuple(alloc_ids),
+        has_overlay=has_overlay,
+        submitted_at=_num(doc, "submitted_at", where),
+    )
+
+
+def _decode_queue(doc: Any, i: int) -> QueueRecord:
+    where = f"alloc_queue[{i}]"
+    _require(isinstance(doc, dict), f"{where}: must be an object")
+    _check_keys(doc, _QUEUE_KEYS, where)
+    return QueueRecord(n_nodes=_int(doc, "n_nodes", where),
+                       t_req=_num(doc, "t_req", where))
+
+
+def decode_checkpoint(data: bytes) -> Checkpoint:
+    """Parse and strictly validate checkpoint bytes.
+
+    Raises :class:`CheckpointVersionError` for a version mismatch (checked
+    first), :class:`CheckpointError` for anything else malformed.
+    """
+    if isinstance(data, str):
+        data = data.encode("ascii")
+    try:
+        doc = json.loads(data.decode("ascii"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise CheckpointError(f"checkpoint is not canonical JSON: {exc}")
+    _require(isinstance(doc, dict), "checkpoint document must be an object")
+    version = doc.get("version")
+    _require(isinstance(version, int) and not isinstance(version, bool),
+             "checkpoint carries no integer 'version' field")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointVersionError(
+            f"cannot read checkpoint version {version}; this daemon reads "
+            f"version {CHECKPOINT_VERSION} only", version=version)
+    _check_keys(doc, _TOP_KEYS, "checkpoint")
+
+    mif = doc["max_in_flight"]
+    _require(mif is None or (isinstance(mif, int) and not isinstance(mif, bool)
+                             and mif >= 1),
+             "max_in_flight must be null or a positive integer")
+    sessions_raw = doc["sessions"]
+    _require(isinstance(sessions_raw, list), "sessions must be a list")
+    queue_raw = doc["alloc_queue"]
+    _require(isinstance(queue_raw, list), "alloc_queue must be a list")
+    blacklist_raw = doc["blacklist"]
+    _require(isinstance(blacklist_raw, list) and all(
+        isinstance(b, str) for b in blacklist_raw),
+        "blacklist must be a list of node names")
+
+    return Checkpoint(
+        generation=_int(doc, "generation", "checkpoint"),
+        next_ctl_id=_int(doc, "next_ctl_id", "checkpoint"),
+        max_in_flight=mif,
+        written_at=_num(doc, "written_at", "checkpoint"),
+        sessions=tuple(_decode_session(s, i)
+                       for i, s in enumerate(sessions_raw)),
+        alloc_queue=tuple(_decode_queue(q, i)
+                          for i, q in enumerate(queue_raw)),
+        blacklist=tuple(blacklist_raw),
+    )

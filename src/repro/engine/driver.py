@@ -122,8 +122,14 @@ class LaunchMONEngine:
 
         self.handlers.register(LMONEventType.TASKS_SPAWNED, on_spawned)
 
-        # run the launcher protocol and drive the event loop
-        sim.process(self.rm.run_launcher(job), name=f"{self.rm.name}-launcher")
+        # run the launcher protocol and drive the event loop. The
+        # protocol process is defused: if the launch dies underneath us
+        # (node crash during task spawn), the launcher's exit surfaces
+        # through the debug-event stream as RM_EXITED below -- the
+        # process failure itself must not detonate the simulation
+        launcher_proc = sim.process(self.rm.run_launcher(job),
+                                    name=f"{self.rm.name}-launcher")
+        launcher_proc.defuse()
         t_run_start = sim.now
         yield from tracer.cont()
         while True:

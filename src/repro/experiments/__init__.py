@@ -18,6 +18,8 @@ lmx       extension: launch strategy x image-staging matrix (per-phase)
 res       extension: fault-rate x strategy x repair resilience sweep
 str       extension: streaming data plane (leaves x filter x window x
           credit-limit, sim vs StreamModel)
+ctl       extension: control-plane crash-restart (adoption across daemon
+          restarts; relaunches and node leaks must be zero)
 ========  ==========================================================
 
 Run from the command line: ``python -m repro.experiments fig3`` (or the
@@ -25,6 +27,7 @@ installed ``repro-experiments`` script). ``--quick`` shrinks sweeps for CI.
 """
 
 from repro.experiments.common import ExperimentResult, percentile
+from repro.experiments.ctlrestart import run_ctl
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.launchmatrix import run_launch_matrix
 from repro.experiments.multitenant import run_multitenant
@@ -46,6 +49,7 @@ __all__ = [
     "run_ablation_jobsnap_tbon",
     "run_ablation_launchers",
     "run_ablation_rm_events",
+    "run_ctl",
     "run_fig3",
     "run_fig5",
     "run_fig6",

@@ -28,6 +28,7 @@ byte-identical to a serial run.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.experiments import (
@@ -35,6 +36,7 @@ from repro.experiments import (
     run_ablation_jobsnap_tbon,
     run_ablation_launchers,
     run_ablation_rm_events,
+    run_ctl,
     run_fig3,
     run_fig5,
     run_fig6,
@@ -63,6 +65,7 @@ QUICK_SWEEPS = {
                 strategies=("serial-rsh", "tree-rsh")),
     "str": dict(leaf_counts=(16, 64), filters=("histogram", "ewma"),
                 windows=(4,), credit_limits=(2, 8), n_waves=10),
+    "ctl": dict(n_seeds=8, block=4),
 }
 
 #: the 16k/64k-daemon tier (see module docstring). Per-daemon task counts
@@ -85,6 +88,7 @@ XL_SWEEPS = {
                 strategies=("tree-rsh", "rm-bulk")),
     "str": dict(leaf_counts=(16384, 65536), filters=("histogram", "ewma"),
                 windows=(8,), credit_limits=(4,), n_waves=10),
+    "ctl": dict(n_seeds=256, block=16),
 }
 
 #: the 1M-daemon tier: only the hybrid analytic/discrete path reaches it
@@ -115,6 +119,7 @@ RUNNERS = {
     "lmx": run_launch_matrix,
     "res": run_resilience,
     "str": run_streaming,
+    "ctl": run_ctl,
 }
 
 
@@ -138,6 +143,10 @@ def main(argv: list[str] | None = None) -> int:
                              "(fig6 and str only): aggregate homogeneous "
                              "leaf subtrees analytically, simulate the "
                              "exact head and special positions")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write every result (columns, rows, "
+                             "notes) as a JSON report to PATH (CI "
+                             "artifact)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run independent grid points across N worker "
                              "processes (-1 = one per CPU); the merged "
@@ -162,6 +171,7 @@ def main(argv: list[str] | None = None) -> int:
                          f"{', '.join(HYBRID_EXPERIMENTS)}, not "
                          + ", ".join(unsupported))
     sweeps = SCALE_SWEEPS[scale]
+    results = []
     for name in names:
         runner = RUNNERS[name]
         kwargs = dict(sweeps.get(name, {}))
@@ -169,8 +179,19 @@ def main(argv: list[str] | None = None) -> int:
         if args.hybrid:
             kwargs["hybrid"] = True
         result = runner(**kwargs)
+        results.append(result)
         print(result.format_table())
         print()
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"scale": scale,
+                       "results": [r.as_dict() for r in results]},
+                      fh, indent=2, sort_keys=True)
+        print(f"wrote JSON report: {args.json}")
+    failed = [r.exp_id for r in results if not r.ok]
+    if failed:
+        print("audit failed: " + ", ".join(failed), file=sys.stderr)
+        return 1
     return 0
 
 

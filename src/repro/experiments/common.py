@@ -52,6 +52,9 @@ class ExperimentResult:
     notes: list[str] = field(default_factory=list)
     #: the paper's reference numbers for EXPERIMENTS.md comparison
     paper_reference: dict = field(default_factory=dict)
+    #: experiments with a built-in audit (ctl) clear this on failure;
+    #: the CLI exits non-zero when any result has ``ok=False``
+    ok: bool = True
 
     def add_row(self, **cells: Any) -> None:
         self.rows.append(cells)
@@ -64,6 +67,18 @@ class ExperimentResult:
             if r.get(key_col) == key:
                 return r
         return None
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the CLI's ``--json`` report uses this)."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(r) for r in self.rows],
+            "notes": list(self.notes),
+            "paper_reference": dict(self.paper_reference),
+            "ok": self.ok,
+        }
 
     def format_table(self) -> str:
         header = [self.exp_id + ": " + self.title]

@@ -317,6 +317,57 @@ class ToolService:
 
         return self._submit(fe, session, op, "attach", body)
 
+    def submit_op(self, op_factory: Callable[..., Generator],
+                  tool_name: str = "tool", op_name: str = "op",
+                  body: Optional[Callable[..., Generator]] = None,
+                  ) -> SessionHandle:
+        """Non-blocking *generic* FE operation on a fresh session.
+
+        ``op_factory(fe, session)`` is a generator that drives the new
+        session from CREATED to a usable state using any mix of FE
+        coroutines -- this is how the control-plane daemon
+        (:mod:`repro.ctl`) runs registry-defined tool recipes (e.g. an
+        overlay-bearing launch) through the same admission gate,
+        per-session serialization and handle semantics as
+        :meth:`submit_launch`. Like the FE's own operations, the factory
+        must reclaim what it acquired on failure before re-raising.
+        """
+        fe = self.frontend(tool_name)
+        session = fe.create_session()
+        self._track_session(fe, session)
+
+        def op() -> Generator[Any, Any, LMONSession]:
+            yield from op_factory(fe, session)
+            return session
+
+        return self._submit(fe, session, op, op_name, body)
+
+    def submit_chained(self, handle: SessionHandle,
+                       op_factory: Callable[..., Generator],
+                       op_name: str = "op",
+                       body: Optional[Callable[..., Generator]] = None,
+                       ) -> SessionHandle:
+        """Non-blocking operation chained onto an existing handle's
+        session (FIFO per session, like :meth:`submit_mw`): waits for the
+        parent to finish -- without adopting its failure; the op's own
+        ``require_state`` reports the truth about a broken session --
+        then runs ``op_factory(fe, session)``. This is how a
+        control-plane client issues follow-up work (teardown, streams)
+        against a session it launched earlier.
+        """
+        fe = handle.fe
+        session = handle.session
+
+        def pre() -> Generator[Any, Any, None]:
+            if not handle.done:
+                yield handle._wait_event()
+
+        def op() -> Generator[Any, Any, LMONSession]:
+            yield from op_factory(fe, session)
+            return session
+
+        return self._submit(fe, session, op, op_name, body, pre=pre)
+
     def submit_mw(self, handle: SessionHandle, mw_spec: DaemonSpec,
                   n_nodes: int, usr_data: Any = None,
                   topology: Optional[str] = None,
@@ -369,6 +420,31 @@ class ToolService:
                     continue  # cancelled while we were waiting on it
                 raise  # the drain driver itself was interrupted
         return sessions
+
+    def set_max_in_flight(self, n: Optional[int]) -> None:
+        """Reconfigure the admission cap in place (daemon ``reload``).
+
+        Raising the cap admits queued operations immediately (FIFO);
+        lowering it never revokes slots already held -- in-flight
+        operations finish and the lower cap binds as they release.
+        Switching between unbounded (None) and a bounded cap requires a
+        quiet service (no admitted or gate-queued operations): the gate
+        cannot be created or destroyed under load without losing slot
+        accounting.
+        """
+        if n == self.max_in_flight:
+            return
+        if self._gate is not None and n is not None:
+            self._gate.set_capacity(n)
+        else:
+            if self.in_flight > 0 or self.pending_admissions > 0:
+                raise FrontEndError(
+                    f"cannot switch admission between unbounded and "
+                    f"max_in_flight={n} with {self.in_flight} operation(s) "
+                    f"in flight and {self.pending_admissions} queued")
+            self._gate = (Resource(self.sim, n, name=f"{self.name}-gate")
+                          if n is not None else None)
+        self.max_in_flight = n
 
     @property
     def pending_admissions(self) -> int:

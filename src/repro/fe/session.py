@@ -129,6 +129,13 @@ class LMONSession:
         self.mw_runtimes: list = []
         #: allocations this session obtained itself (returned on detach/kill)
         self.owned_allocs: list = []
+        #: True for a session rebound to a live daemon tree by a restarted
+        #: control plane (see :mod:`repro.ctl.restore`). Adopted sessions
+        #: have no engine and no LMONP streams -- the processes behind
+        #: those died with the previous control-plane generation -- so
+        #: they support overlay streaming and engine-free teardown, not
+        #: ``send_usrdata_be``/``kill``
+        self.adopted: bool = False
         # data-transfer registration (jsonable-structure transforms)
         self.pack_fe_to_be: Optional[Callable[[Any], Any]] = None
         self.unpack_be_to_fe: Optional[Callable[[Any], Any]] = None

@@ -562,11 +562,19 @@ class RmBulkStrategy(LaunchStrategy):
 
         workers = [sim.process(_spawn_one(i, node), name=f"spawn:{node.name}")
                    for i, node in enumerate(nodes)]
+        barrier = sim.all_of(workers)
         try:
-            yield sim.all_of(workers)
+            yield barrier
         except BaseException:
             # abort the set: stop in-flight spawners and reap daemons
-            # already forked -- a failed spawn must not leave orphans
+            # already forked -- a failed spawn must not leave orphans.
+            # The barrier must be defused too: this frame may be unwinding
+            # because *we* were interrupted (not because a worker failed),
+            # in which case the interrupt detached us from the barrier --
+            # when the aborted workers' failures then complete it, the
+            # composite failure would have no observer left and would
+            # detonate the whole simulator run
+            barrier.defuse()
             for w in workers:
                 # defuse every worker: a sibling that failed at the same
                 # instant is already dead but its failure event would

@@ -149,6 +149,16 @@ class RMJob:
         #: job -- unlike the RM-wide ``last_launch_report`` it cannot be
         #: overwritten by a concurrent session's spawn
         self.daemon_spawn_report: Optional[LaunchReport] = None
+        #: the TBON overlay built over this job's daemon set, recorded by
+        #: the startup path (:func:`repro.tbon.launchmon_startup`). The
+        #: overlay is data plane -- node-resident routers and streams that
+        #: survive a control-plane crash -- so a restarting daemon
+        #: re-adopting this job finds it here rather than on the dead
+        #: session object.
+        self.overlay = None
+        #: comm daemons' Middleware runtimes, recorded alongside
+        #: ``overlay`` for the same re-adoption purpose
+        self.mw_runtimes: list = []
 
     def build_proctable(self) -> RPDTAB:
         """Assemble the RPDTAB from the live task set."""
@@ -298,6 +308,12 @@ class ResourceManager:
         self._free_heap: list[int] = sorted(self._free)
         cluster.add_failure_listener(self._on_node_failed)
         self.jobs: list[RMJob] = []
+        #: every allocation currently granted, by id -- the RM-side ledger.
+        #: The RM outlives any tool front end (SLURM does not die with a
+        #: crashed tool), so this is what a restarting control plane
+        #: reconciles its checkpoint against: allocations here that no
+        #: restored session claims are orphans to be reaped.
+        self.live_allocations: dict[int, Allocation] = {}
         #: FIFO queue of pending async requests: (n_nodes, grant event, t_req)
         self._alloc_waiters: deque[tuple[int, Event, float]] = deque()
         #: diagnostics: per-grant queue-wait durations (async requests only)
@@ -312,6 +328,18 @@ class ResourceManager:
     def queued_requests(self) -> int:
         """Number of async allocation requests still waiting for nodes."""
         return len(self._alloc_waiters)
+
+    @property
+    def allocated_node_names(self) -> frozenset:
+        """Names of nodes currently granted to some allocation (audits)."""
+        return frozenset(self._allocated)
+
+    def queued_request_sizes(self) -> tuple:
+        """Snapshot of the async queue as ``(n_nodes, t_req)`` pairs, in
+        FIFO order -- what a control-plane checkpoint records about
+        pending contention (the grant events themselves are process
+        state and die with their requesters)."""
+        return tuple((n, t) for n, _ev, t in self._alloc_waiters)
 
     def free_nodes(self) -> list[Node]:
         """Compute nodes grantable to a new allocation: not currently
@@ -424,7 +452,22 @@ class ResourceManager:
             raise
         return alloc
 
+    def withdraw_all_queued(self) -> int:
+        """Drop every queued async allocation request; returns the count.
+
+        Crash-recovery primitive: after a control-plane crash the queue
+        may hold entries whose requester processes are gone -- a grant to
+        one would strand its nodes forever. The restoring daemon purges
+        the queue first, then resubmits the requests its checkpoint says
+        are real. Only the control plane that owns this RM's allocation
+        traffic may call this (it withdraws *everyone's* pending entries).
+        """
+        dropped = len(self._alloc_waiters)
+        self._alloc_waiters.clear()
+        return dropped
+
     def release(self, alloc: Allocation) -> None:
+        self.live_allocations.pop(alloc.alloc_id, None)
         for n in alloc.nodes:
             if n.name in self._allocated:
                 self._allocated.discard(n.name)
@@ -440,7 +483,9 @@ class ResourceManager:
         :meth:`_take_free`) as allocated."""
         for n in nodes:
             self._allocated.add(n.name)
-        return Allocation(alloc_id=next(self._alloc_ids), nodes=nodes)
+        alloc = Allocation(alloc_id=next(self._alloc_ids), nodes=nodes)
+        self.live_allocations[alloc.alloc_id] = alloc
+        return alloc
 
     def _pump_alloc_queue(self) -> None:
         """Grant queued async requests while the head request fits."""

@@ -151,7 +151,29 @@ class SlurmRM(ResourceManager):
                         name=f"slurmd:{node.name}")
             for node, ranks in self._group_placement(app, job.allocation)
         ]
-        yield sim.all_of(spawners)
+        barrier = sim.all_of(spawners)
+        try:
+            yield barrier
+        except BaseException:
+            # the launch was aborted under us (e.g. the driving tool
+            # operation was torn down mid-launch): stop the per-node
+            # spawners so no straggler keeps forking tasks onto nodes
+            # that are about to be released -- and defuse both the
+            # workers and the barrier, which otherwise detonate when
+            # the interrupted workers' failures complete a composite
+            # nobody observes any more
+            barrier.defuse()
+            for s in spawners:
+                s.defuse()
+                if s.is_alive:
+                    s.interrupt("job launch aborted")
+            job.state = JobState.FAILED
+            # srun dies on a failed launch: the exit emits an EXITED
+            # debug event, so an attached tracer (the engine's poll
+            # loop) observes the abort as RM_EXITED instead of hanging
+            if launcher.alive:
+                launcher.exit(1)
+            raise
         job.tasks.sort(key=lambda t: t.memory.get("_rank", 0))
 
         if cfg.legacy_events:

@@ -278,6 +278,37 @@ class Process(Event):
         self._target = None
         self.sim._enqueue(interrupt_ev, 0.0, URGENT)
 
+    def kill(self) -> None:
+        """Abandon the process *without* unwinding it (crash semantics).
+
+        :meth:`interrupt` models a graceful abort: the generator's
+        ``except``/``finally`` blocks run, releasing whatever the process
+        held. A *crashed* control plane gets no such courtesy -- the OS
+        reaps the process mid-instruction and its queued requests, held
+        slots and half-done bookkeeping are simply orphaned (that is what
+        a checkpoint/restore layer exists to reconcile). ``kill()`` is
+        that model: the generator is frozen where it suspended, never
+        resumed and never closed, and the process-event completes with
+        value ``None`` so waiters observe an exit rather than a hang.
+
+        Deliberately, the waiter subscription is *not* tombstoned: when
+        the abandoned target later fires, :meth:`_resume`'s stale-wakeup
+        guard absorbs it (defusing a failure), exactly as for a process
+        that finished between scheduling and delivery. The generator is
+        parked in the simulator's graveyard so garbage collection cannot
+        ``close()`` it mid-simulation -- a GC-time ``GeneratorExit``
+        would run the cleanup handlers after all, at a nondeterministic
+        moment, mutating queues the restore path already reconciled.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot kill finished {self!r}")
+        if self is self.sim._active_proc:
+            raise SimulationError("a process cannot kill itself")
+        self._target = None
+        self.sim._graveyard.append(self._gen)
+        self._value = None
+        self.sim._enqueue(self, 0.0, NORMAL)
+
     def _resume_interrupted(self, event: Event) -> None:
         """Deliver a queued Interrupt. The process may have suspended (or
         resumed and re-suspended) on a new target between ``interrupt()``
@@ -545,6 +576,10 @@ class Simulator:
         self._fast_lane = fast_lane
         self._seq = 0
         self._active_proc: Optional[Process] = None
+        #: generators of killed processes (see :meth:`Process.kill`): kept
+        #: referenced for the simulator's lifetime so GC never close()s
+        #: them while the simulation can still observe the side effects
+        self._graveyard: list = []
         #: kernel counters -- events processed, heap high-water, wall rate
         self.stats = SimStats()
         #: optional per-event hook: trace(time, priority, seq, event)

@@ -68,6 +68,20 @@ class Resource:
         if ev.triggered:  # granted before (or while) the cancel arrived
             self.release()
 
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the resource in place (e.g. a service ``reload``).
+
+        Growing grants queued waiters immediately, in FIFO order.
+        Shrinking never revokes slots already held: ``in_use`` may exceed
+        the new capacity until holders release, at which point the lower
+        cap binds (no new grants until usage falls below it).
+        """
+        if capacity < 1:
+            raise SimulationError("Resource capacity must be >= 1")
+        self.capacity = capacity
+        while self._waiters and self._in_use < self.capacity:
+            self._grant(self._waiters.popleft())
+
     def try_request(self) -> bool:
         """Non-blocking acquire. True on success, False if at capacity."""
         if self._in_use < self.capacity:

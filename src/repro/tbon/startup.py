@@ -277,14 +277,20 @@ def launchmon_startup(fe_api, session, job: RMJob,
     overlay = _build_overlay(cluster, topo, placement, stream_filter)
     shared["overlay"] = overlay
     # the session owns the overlay from here on: Session.open_stream()
-    # hands out persistent data-plane streams over it
+    # hands out persistent data-plane streams over it. It is also
+    # recorded on the *job*: routers and streams are data plane and
+    # outlive the session object, so a restarted control plane
+    # re-adopting the job (see repro.ctl.restore) can re-reference the
+    # live overlay instead of rebuilding -- or worse, respawning -- it.
     session.overlay = overlay
+    job.overlay = overlay
     # bind each comm daemon to its overlay position, enabling the MW
     # stream face (stream_open / stream_subscribe taps / stream_state)
     mw_runtimes.sort(key=lambda mw: mw.get_personality())
     for pos, mw in zip(comm_positions, mw_runtimes):
         mw.attach_overlay(overlay.endpoint(pos))
     session.mw_runtimes = mw_runtimes
+    job.mw_runtimes = mw_runtimes
 
     # distribute placement over LMONP; daemons connect; master confirms
     t_conn0 = sim.now

@@ -1,0 +1,215 @@
+"""Property tests for the checkpoint codec (hypothesis).
+
+The contract under test (see ``repro/ctl/checkpoint.py``):
+
+* canonical: the same :class:`Checkpoint` value always encodes to the
+  same bytes, and the round trip is exact in both directions --
+  ``decode(encode(cp)) == cp`` and ``encode(decode(b)) == b``;
+* versioned: any version other than :data:`CHECKPOINT_VERSION` raises
+  :class:`CheckpointVersionError` before any field is interpreted;
+* strict: unknown fields (a future daemon's state) and missing fields
+  are rejected with a versioned :class:`CheckpointError`, never dropped.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ctl.checkpoint import (CHECKPOINT_VERSION, Checkpoint,
+                                  CheckpointError, CheckpointVersionError,
+                                  QueueRecord, SessionRecord,
+                                  decode_checkpoint, encode_checkpoint)
+
+# -- strategies ---------------------------------------------------------------
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+scalars = st.one_of(st.none(), st.booleans(),
+                    st.integers(min_value=-2 ** 40, max_value=2 ** 40),
+                    finite_floats,
+                    st.text(alphabet="abcdefgh _-.:0123456789", max_size=12))
+node_names = st.text(alphabet="abcdefgh0123456789-", min_size=1, max_size=12)
+
+
+@st.composite
+def params_tuples(draw):
+    keys = draw(st.lists(st.text(alphabet="abcdef_", min_size=1, max_size=8),
+                         max_size=4, unique=True))
+    return tuple((k, draw(scalars)) for k in sorted(keys))
+
+
+@st.composite
+def session_records(draw, ctl_id=None):
+    return SessionRecord(
+        ctl_id=draw(st.integers(min_value=1, max_value=10 ** 6))
+        if ctl_id is None else ctl_id,
+        tool_name=draw(st.text(alphabet="abcdef-", min_size=1, max_size=16)),
+        tool=draw(st.sampled_from(["generic-be", "overlay", "custom"])),
+        n_nodes=draw(st.integers(min_value=1, max_value=4096)),
+        params=draw(params_tuples()),
+        state=draw(st.sampled_from(
+            ["queued", "spawning", "ready", "degraded", "mw-ready"])),
+        session_id=draw(st.integers(min_value=1, max_value=10 ** 6)),
+        jobid=draw(st.integers(min_value=0, max_value=10 ** 6)),
+        alloc_ids=tuple(draw(st.lists(
+            st.integers(min_value=1, max_value=10 ** 6), max_size=4))),
+        has_overlay=draw(st.booleans()),
+        submitted_at=draw(finite_floats),
+    )
+
+
+@st.composite
+def checkpoints(draw):
+    n = draw(st.integers(min_value=0, max_value=6))
+    return Checkpoint(
+        generation=draw(st.integers(min_value=1, max_value=1000)),
+        next_ctl_id=draw(st.integers(min_value=1, max_value=10 ** 6)),
+        max_in_flight=draw(st.one_of(
+            st.none(), st.integers(min_value=1, max_value=512))),
+        written_at=draw(finite_floats),
+        sessions=tuple(draw(session_records(ctl_id=i + 1))
+                       for i in range(n)),
+        alloc_queue=tuple(draw(st.lists(st.builds(
+            QueueRecord,
+            n_nodes=st.integers(min_value=1, max_value=4096),
+            t_req=finite_floats), max_size=4))),
+        blacklist=tuple(draw(st.lists(node_names, max_size=4, unique=True))),
+    )
+
+
+# -- round trip ---------------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(checkpoints())
+def test_round_trip_value_identical(cp):
+    assert decode_checkpoint(encode_checkpoint(cp)) == cp
+
+
+@settings(max_examples=200, deadline=None)
+@given(checkpoints())
+def test_round_trip_bit_identical(cp):
+    data = encode_checkpoint(cp)
+    assert encode_checkpoint(decode_checkpoint(data)) == data
+
+
+@settings(max_examples=100, deadline=None)
+@given(checkpoints())
+def test_encoding_is_deterministic_bytes(cp):
+    a = encode_checkpoint(cp)
+    b = encode_checkpoint(cp)
+    assert a == b
+    assert isinstance(a, bytes)
+    a.decode("ascii")  # canonical form is pure ASCII
+
+
+# -- strictness: unknown / missing fields -------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(checkpoints(),
+       st.sampled_from(["drain_deadline", "lease_epoch", "shard"]))
+def test_unknown_top_level_field_rejected(cp, field):
+    doc = json.loads(encode_checkpoint(cp))
+    doc[field] = 42
+    with pytest.raises(CheckpointError) as ei:
+        decode_checkpoint(json.dumps(doc).encode("ascii"))
+    # the error is versioned and names the offending field
+    assert ei.value.version == CHECKPOINT_VERSION
+    assert field in str(ei.value)
+    assert f"[checkpoint v{CHECKPOINT_VERSION}]" in str(ei.value)
+
+
+@settings(max_examples=60, deadline=None)
+@given(checkpoints(), st.sampled_from(["affinity", "gpu_ids"]))
+def test_unknown_session_field_rejected(cp, field):
+    doc = json.loads(encode_checkpoint(cp))
+    doc["sessions"] = doc["sessions"] or [json.loads(encode_checkpoint(
+        Checkpoint(1, 1, None, 0.0,
+                   (SessionRecord(1, "t", "generic-be", 1, (), "ready",
+                                  1, 1, (1,), False, 0.0),),
+                   (), ())))["sessions"][0]]
+    doc["sessions"][0][field] = "x"
+    with pytest.raises(CheckpointError):
+        decode_checkpoint(json.dumps(doc).encode("ascii"))
+
+
+@settings(max_examples=60, deadline=None)
+@given(checkpoints())
+def test_missing_field_rejected(cp):
+    doc = json.loads(encode_checkpoint(cp))
+    doc.pop("blacklist")
+    with pytest.raises(CheckpointError, match="missing"):
+        decode_checkpoint(json.dumps(doc).encode("ascii"))
+
+
+# -- versioning ---------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(checkpoints(), st.integers(min_value=-5, max_value=50))
+def test_other_versions_rejected_with_version_error(cp, version):
+    doc = json.loads(encode_checkpoint(cp))
+    doc["version"] = version
+    data = json.dumps(doc).encode("ascii")
+    if version == CHECKPOINT_VERSION:
+        decode_checkpoint(data)
+        return
+    with pytest.raises(CheckpointVersionError) as ei:
+        decode_checkpoint(data)
+    # the error reports the *document's* version claim
+    assert ei.value.version == version
+
+
+def test_version_checked_before_unknown_fields():
+    """A future-version document full of future fields must fail on the
+    version, not on its (legitimately unknown) fields."""
+    doc = {"version": CHECKPOINT_VERSION + 1, "lease_epoch": 9}
+    with pytest.raises(CheckpointVersionError):
+        decode_checkpoint(json.dumps(doc).encode("ascii"))
+
+
+def test_missing_version_rejected():
+    with pytest.raises(CheckpointError, match="version"):
+        decode_checkpoint(b'{"generation":1}')
+
+
+# -- malformed documents ------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(checkpoints(), st.integers(min_value=1, max_value=40))
+def test_truncated_bytes_rejected(cp, cut):
+    data = encode_checkpoint(cp)
+    with pytest.raises(CheckpointError):
+        decode_checkpoint(data[:-min(cut, len(data) - 1)])
+
+
+@pytest.mark.parametrize("blob", [b"", b"[]", b"null", b'"v1"', b"\xff\xfe"])
+def test_non_object_documents_rejected(blob):
+    with pytest.raises(CheckpointError):
+        decode_checkpoint(blob)
+
+
+def test_bool_is_not_an_integer():
+    """JSON booleans must not satisfy integer fields (bool is an int
+    subclass in Python -- the codec must not fall for it)."""
+    cp = Checkpoint(1, 1, None, 0.0, (), (), ())
+    doc = json.loads(encode_checkpoint(cp))
+    doc["generation"] = True
+    with pytest.raises(CheckpointError, match="generation"):
+        decode_checkpoint(json.dumps(doc).encode("ascii"))
+
+
+def test_state_vocabulary_is_closed():
+    rec = SessionRecord(1, "t", "generic-be", 1, (), "ready", 1, 1, (),
+                        False, 0.0)
+    cp = Checkpoint(1, 2, None, 0.0, (rec,), (), ())
+    doc = json.loads(encode_checkpoint(cp))
+    doc["sessions"][0]["state"] = "hibernating"
+    with pytest.raises(CheckpointError, match="hibernating"):
+        decode_checkpoint(json.dumps(doc).encode("ascii"))
+
+
+def test_non_finite_floats_refused_on_encode():
+    cp = Checkpoint(1, 1, None, float("nan"), (), (), ())
+    with pytest.raises(CheckpointError, match="non-finite"):
+        encode_checkpoint(cp)

@@ -1,0 +1,36 @@
+"""Crash-restart soak: seeded random kill points across many lifecycle
+sequences (launching / draining / mid-repair / gate-queued), asserting
+that after re-adoption the node accounting balances to zero every time.
+
+``CTL_SOAK_ITERS`` overrides the sequence count (CI runs a reduced
+soak; the default matches the acceptance bar of 200 sequences).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.ctl.harness import run_crash_restart, scenario_for_seed
+
+SOAK_ITERS = int(os.environ.get("CTL_SOAK_ITERS", "200"))
+
+
+def test_crash_restart_soak():
+    failures = []
+    totals = {"adopted": 0, "resubmitted": 0, "reaped": 0, "orphans": 0}
+    for seed in range(SOAK_ITERS):
+        res = run_crash_restart(scenario_for_seed(seed))
+        totals["adopted"] += res.adopted
+        totals["resubmitted"] += res.resubmitted
+        totals["reaped"] += res.reaped_sessions
+        totals["orphans"] += res.orphan_allocs_reaped
+        if not (res.ok and res.relaunched == 0 and res.leaked_nodes_mid == 0
+                and res.leaked_nodes_final == 0 and res.queue_leak_final == 0
+                and res.index_balanced):
+            failures.append((seed, res.as_dict()))
+    assert not failures, f"{len(failures)} bad sequences: {failures[:3]}"
+    # the soak must exercise every disposition, not just the happy adopt
+    assert totals["adopted"] > 0
+    if SOAK_ITERS >= 100:
+        assert totals["resubmitted"] > 0
+        assert totals["reaped"] > 0
