@@ -1,0 +1,235 @@
+"""Fleet bench: front-door overhead, failover cost, fleet-scale reach.
+
+The federated fleet layer (``repro/fleet/``) claims three things this
+file holds it to:
+
+* **Zero-overhead pass-through.** A single-member fleet must produce the
+  *same virtual result* as the direct ``make_env`` path -- identical
+  startup totals and identical simulated event counts for the fig6
+  LaunchMON point. The front door, gossip mesh, and placement layer may
+  cost wall-clock (bounded by ``WRAP_WALL_FACTOR``) but must not perturb
+  the simulation by a single event.
+* **Failover beats resubmission.** With one cluster crashed mid-stream,
+  every arrival still completes (no session is lost), zero node
+  allocations leak from any member RM, and the p99 launch latency of the
+  faulted run stays within ``FAILOVER_P99_FACTOR`` of the fault-free
+  run -- the detour costs a retry, not a meltdown.
+* **Reach.** A ``XL_CLUSTERS``-cluster fleet absorbing ``XL_ARRIVALS``
+  sessions (crash included) completes within ``XL_WALL_BUDGET`` wall
+  seconds on one machine.
+
+Under pytest the assertions run at quick scale (CI smoke); run the file
+directly for plain JSON on stdout (the artifact behind the committed
+``BENCH_fleet.json``):
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py [--quick]
+
+``--quick`` downsizes the fleet points and skips the XL reach point.
+"""
+
+import json
+import sys
+import time
+
+import pytest
+
+#: wall-clock factor the single-member fleet wrapping may cost over the
+#: direct make_env path (the wrapping adds construction, not simulation;
+#: generous because the absolute times are milliseconds)
+WRAP_WALL_FACTOR = 3.0
+#: p99 launch latency of the faulted run vs the fault-free run -- a
+#: failover detour re-places and re-launches one session batch, it must
+#: not stall the whole stream
+FAILOVER_P99_FACTOR = 5.0
+#: wall budget for the XL reach point (seconds)
+XL_WALL_BUDGET = 120.0
+
+XL_CLUSTERS = 32
+XL_ARRIVALS = 256
+
+#: the fig6 LaunchMON point both env paths are compared at
+WRAP_DAEMONS = 64
+
+
+# ---------------------------------------------------------------------------
+# measurement
+# ---------------------------------------------------------------------------
+
+def wrap_pair(n_daemons: int = WRAP_DAEMONS) -> dict:
+    """Direct vs single-member-fleet fig6 LaunchMON point."""
+    from repro.experiments.fig6 import measure_stat_startup
+    from repro.fleet import make_fleet_member_env
+    from repro.runner import make_env
+
+    out = {"n_daemons": n_daemons}
+    for mode, factory in (("direct", make_env),
+                          ("fleet", make_fleet_member_env)):
+        t0 = time.perf_counter()
+        box = measure_stat_startup(n_daemons, "launchmon",
+                                   tasks_per_daemon=1, env_factory=factory)
+        wall = time.perf_counter() - t0
+        out[mode] = {
+            "wall_s": wall,
+            "virtual_startup_s": box["startup"].total,
+            "classes": box["classes"],
+            "sim_events": box["sim_events"],
+        }
+    direct, fleet = out["direct"], out["fleet"]
+    out["wall_factor"] = fleet["wall_s"] / max(direct["wall_s"], 1e-9)
+    out["virtual_exact"] = (fleet["virtual_startup_s"]
+                            == direct["virtual_startup_s"])
+    out["events_exact"] = fleet["sim_events"] == direct["sim_events"]
+    return out
+
+
+def failover_pair(n_clusters: int = 8, arrival_rate: float = 8.0,
+                  n_arrivals: int = 24) -> dict:
+    """The same arrival stream with and without an injected crash."""
+    from repro.experiments.common import percentile
+    from repro.experiments.fleet import run_fleet_once
+
+    out = {"n_clusters": n_clusters, "arrival_rate": arrival_rate,
+           "n_arrivals": n_arrivals}
+    for mode, fault in (("clean", False), ("faulted", True)):
+        t0 = time.perf_counter()
+        env, handles, info = run_fleet_once(
+            n_clusters, arrival_rate, n_arrivals=n_arrivals, fault=fault)
+        wall = time.perf_counter() - t0
+        summary = env.fleet.door.summary()
+        lat = summary["launch_latencies"]
+        out[mode] = {
+            "wall_s": wall,
+            "completed": summary["completed"],
+            "failovers": summary["failovers"],
+            "p50_latency": percentile(lat, 50) if lat else None,
+            "p99_latency": percentile(lat, 99) if lat else None,
+            "leaked": sum(info["audit"]["leaked_allocations"].values()),
+            "audit_ok": info["audit"]["ok"],
+            "fault_target": info["fault_target"],
+        }
+    clean, faulted = out["clean"], out["faulted"]
+    out["p99_factor"] = (faulted["p99_latency"]
+                         / max(clean["p99_latency"], 1e-9))
+    return out
+
+
+def xl_point(n_clusters: int = XL_CLUSTERS,
+             n_arrivals: int = XL_ARRIVALS) -> dict:
+    """The fleet-scale reach point: many clusters, long stream, crash."""
+    from repro.experiments.fleet import run_fleet_once
+
+    t0 = time.perf_counter()
+    env, handles, info = run_fleet_once(
+        n_clusters, 32.0, n_arrivals=n_arrivals, nodes_per_cluster=16,
+        fault=True)
+    wall = time.perf_counter() - t0
+    summary = env.fleet.door.summary()
+    return {
+        "n_clusters": n_clusters,
+        "n_arrivals": n_arrivals,
+        "wall_s": wall,
+        "completed": summary["completed"],
+        "failovers": summary["failovers"],
+        "served_by": summary["served_by"],
+        "leaked": sum(info["audit"]["leaked_allocations"].values()),
+        "sim_events": env.sim.stats.events,
+    }
+
+
+def fleet_bench_payload(quick: bool = False) -> dict:
+    payload = {
+        "config": {
+            "wrap_wall_factor": WRAP_WALL_FACTOR,
+            "failover_p99_factor": FAILOVER_P99_FACTOR,
+            "xl_wall_budget_s": XL_WALL_BUDGET,
+            "wrap_daemons": WRAP_DAEMONS,
+        },
+        "wrap": wrap_pair(16 if quick else WRAP_DAEMONS),
+        "failover": failover_pair(n_arrivals=12 if quick else 24),
+    }
+    if not quick:
+        payload["xl"] = xl_point()
+    return payload
+
+
+def check_claims(payload: dict, quick: bool = False) -> None:
+    wrap = payload["wrap"]
+    # pass-through: virtual result untouched by the fleet wrapping
+    assert wrap["virtual_exact"], wrap
+    assert wrap["events_exact"], wrap
+    assert wrap["fleet"]["classes"] == wrap["direct"]["classes"], wrap
+    failover = payload["failover"]
+    for mode in ("clean", "faulted"):
+        cell = failover[mode]
+        assert cell["completed"] == failover["n_arrivals"], (mode, cell)
+        assert cell["leaked"] == 0, (mode, cell)
+        assert cell["audit_ok"], (mode, cell)
+    assert failover["faulted"]["failovers"] > 0, failover
+    assert failover["clean"]["failovers"] == 0, failover
+    assert failover["p99_factor"] < FAILOVER_P99_FACTOR, failover
+    if not quick:
+        # wall factors only mean anything at full scale (quick points
+        # are milliseconds, dominated by interpreter noise)
+        assert wrap["wall_factor"] < WRAP_WALL_FACTOR, wrap
+        xl = payload["xl"]
+        assert xl["wall_s"] < XL_WALL_BUDGET, xl
+        assert xl["completed"] == xl["n_arrivals"], xl
+        assert xl["leaked"] == 0, xl
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (CI smoke: assertions at quick scale)
+# ---------------------------------------------------------------------------
+
+class TestFleetBench:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return fleet_bench_payload(quick=True)
+
+    def test_single_member_fleet_is_pass_through(self, payload):
+        wrap = payload["wrap"]
+        assert wrap["virtual_exact"] and wrap["events_exact"]
+
+    def test_faulted_stream_fails_over_and_completes(self, payload):
+        failover = payload["failover"]
+        assert failover["faulted"]["failovers"] > 0
+        assert (failover["faulted"]["completed"]
+                == failover["n_arrivals"])
+
+    def test_no_leaked_allocations_either_way(self, payload):
+        failover = payload["failover"]
+        assert failover["clean"]["leaked"] == 0
+        assert failover["faulted"]["leaked"] == 0
+
+    def test_failover_detour_bounded(self, payload):
+        assert payload["failover"]["p99_factor"] < FAILOVER_P99_FACTOR
+
+
+@pytest.mark.benchmark(group="fleet")
+def bench_fleet_8x8(benchmark):
+    """pytest-benchmark hook: one 8-cluster faulted arrival stream."""
+    from repro.experiments.fleet import run_fleet_once
+
+    def point():
+        env, handles, info = run_fleet_once(8, 8.0, n_arrivals=24)
+        return env.fleet.door.summary()
+
+    summary = benchmark(point)
+    benchmark.extra_info["failovers"] = summary["failovers"]
+
+
+# ---------------------------------------------------------------------------
+# plain-JSON mode (CI artifact)
+# ---------------------------------------------------------------------------
+
+def main(argv) -> int:
+    quick = "--quick" in argv
+    payload = fleet_bench_payload(quick=quick)
+    check_claims(payload, quick=quick)
+    json.dump(payload, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

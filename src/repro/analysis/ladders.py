@@ -34,7 +34,8 @@ from repro.experiments.sweep import map_grid
 
 __all__ = ["LADDERS", "Ladder", "collect_samples", "dropped_metric_points",
            "fig6_ladder_point", "fig6_hybrid_ladder_point",
-           "str_ladder_point", "str_hybrid_ladder_point"]
+           "fleet_ladder_point", "str_ladder_point",
+           "str_hybrid_ladder_point"]
 
 
 def _timed(measure: Callable[[], dict]) -> tuple[dict, float]:
@@ -118,6 +119,32 @@ def str_hybrid_ladder_point(n: int) -> dict:
     return metrics
 
 
+def fleet_ladder_point(n: int) -> dict:
+    """Routing-tier point: an ``n``-cluster fleet absorbing an open-loop
+    stream of ``4 * n`` arrivals (offered load grows with the fleet, so
+    per-cluster pressure is constant and any super-linear term belongs
+    to the front door / gossip / placement tier itself). Fault-free: the
+    failover detour is a constant the scaling fit should not see."""
+    from repro.experiments.common import percentile
+    from repro.experiments.fleet import run_fleet_once
+
+    def measure():
+        env, handles, info = run_fleet_once(
+            n, arrival_rate=8.0, n_arrivals=4 * n, nodes_per_cluster=8,
+            fault=False)
+        assert info["audit"]["ok"], info["audit"]
+        lat = env.fleet.door.summary()["launch_latencies"]
+        return {
+            "virtual_total": max(h.finished_at for h in handles),
+            "p99_latency": percentile(lat, 99),
+            "sim_events": float(env.sim.stats.events),
+        }
+
+    metrics, wall = _timed(measure)
+    metrics["wall_s"] = wall
+    return metrics
+
+
 @dataclass(frozen=True)
 class Ladder:
     """One experiment's scale ladder for scalecheck."""
@@ -160,6 +187,15 @@ LADDERS: dict[str, Ladder] = {
         description="STAT startup via LaunchMON on the hybrid "
                     "analytic/discrete tier (exact head + aggregated "
                     "spans); extends the launch ladder past 64k",
+    ),
+    "fleet": Ladder(
+        experiment="fleet",
+        point=fleet_ladder_point,
+        quick_scales=(4, 8, 16),
+        full_scales=(4, 8, 16, 32),
+        description="federated front door absorbing 4 arrivals/cluster "
+                    "(routing tier: placement + gossip + failover "
+                    "supervision; load scales with the fleet)",
     ),
     "str-hybrid": Ladder(
         experiment="str-hybrid",

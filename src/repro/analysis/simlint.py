@@ -97,6 +97,13 @@ HOT_PATH_MODULES = (
     "repro/ctl/daemon.py",
     "repro/ctl/checkpoint.py",
     "repro/ctl/restore.py",
+    # the fleet routing tier sits in front of every session launch: a
+    # per-request scan over all members (or per-round scan over all
+    # records) compounds across the arrival stream at fleet scale
+    "repro/fleet/health.py",
+    "repro/fleet/placement.py",
+    "repro/fleet/gossip.py",
+    "repro/fleet/frontdoor.py",
 )
 
 #: modules the hybrid tier runs through: anywhere here that iterates the

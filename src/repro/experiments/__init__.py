@@ -20,6 +20,9 @@ str       extension: streaming data plane (leaves x filter x window x
           credit-limit, sim vs StreamModel)
 ctl       extension: control-plane crash-restart (adoption across daemon
           restarts; relaunches and node leaks must be zero)
+fleet     extension: federated multi-cluster front door (clusters x
+          arrival rate; failover under an injected cluster crash,
+          fleet-wide leak audit)
 ========  ==========================================================
 
 Run from the command line: ``python -m repro.experiments fig3`` (or the
@@ -29,6 +32,7 @@ installed ``repro-experiments`` script). ``--quick`` shrinks sweeps for CI.
 from repro.experiments.common import ExperimentResult, percentile
 from repro.experiments.ctlrestart import run_ctl
 from repro.experiments.fig3 import run_fig3
+from repro.experiments.fleet import run_fleet
 from repro.experiments.launchmatrix import run_launch_matrix
 from repro.experiments.multitenant import run_multitenant
 from repro.experiments.resilience import run_resilience
@@ -53,6 +57,7 @@ __all__ = [
     "run_fig3",
     "run_fig5",
     "run_fig6",
+    "run_fleet",
     "run_launch_matrix",
     "run_multitenant",
     "run_resilience",

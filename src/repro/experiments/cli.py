@@ -28,9 +28,9 @@ byte-identical to a serial run.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
+from repro.experiments.common import write_json_report
 from repro.experiments import (
     run_ablation_iccl,
     run_ablation_jobsnap_tbon,
@@ -40,6 +40,7 @@ from repro.experiments import (
     run_fig3,
     run_fig5,
     run_fig6,
+    run_fleet,
     run_launch_matrix,
     run_multitenant,
     run_resilience,
@@ -66,6 +67,10 @@ QUICK_SWEEPS = {
     "str": dict(leaf_counts=(16, 64), filters=("histogram", "ewma"),
                 windows=(4,), credit_limits=(2, 8), n_waves=10),
     "ctl": dict(n_seeds=8, block=4),
+    # the acceptance grid: 8 clusters x 4 arrival rates, one injected
+    # cluster crash per point, leak-audited against every member RM
+    "fleet": dict(cluster_counts=(8,), arrival_rates=(2.0, 4.0, 8.0, 16.0),
+                  n_arrivals=24),
 }
 
 #: the 16k/64k-daemon tier (see module docstring). Per-daemon task counts
@@ -89,6 +94,9 @@ XL_SWEEPS = {
     "str": dict(leaf_counts=(16384, 65536), filters=("histogram", "ewma"),
                 windows=(8,), credit_limits=(4,), n_waves=10),
     "ctl": dict(n_seeds=256, block=16),
+    "fleet": dict(cluster_counts=(16, 32), arrival_rates=(8.0, 32.0, 64.0),
+                  n_arrivals=192, nodes_per_cluster=32,
+                  nodes_per_session=4),
 }
 
 #: the 1M-daemon tier: only the hybrid analytic/discrete path reaches it
@@ -120,6 +128,7 @@ RUNNERS = {
     "res": run_resilience,
     "str": run_streaming,
     "ctl": run_ctl,
+    "fleet": run_fleet,
 }
 
 
@@ -183,10 +192,7 @@ def main(argv: list[str] | None = None) -> int:
         print(result.format_table())
         print()
     if args.json:
-        with open(args.json, "w") as fh:
-            json.dump({"scale": scale,
-                       "results": [r.as_dict() for r in results]},
-                      fh, indent=2, sort_keys=True)
+        write_json_report(args.json, results, scale=scale)
         print(f"wrote JSON report: {args.json}")
     failed = [r.exp_id for r in results if not r.ok]
     if failed:

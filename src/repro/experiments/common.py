@@ -1,11 +1,12 @@
-"""Shared experiment result container and table formatting."""
+"""Shared experiment result container, audits, and table formatting."""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
-__all__ = ["ExperimentResult", "fmt", "percentile"]
+__all__ = ["ExperimentResult", "fmt", "percentile", "write_json_report"]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -52,12 +53,32 @@ class ExperimentResult:
     notes: list[str] = field(default_factory=list)
     #: the paper's reference numbers for EXPERIMENTS.md comparison
     paper_reference: dict = field(default_factory=dict)
-    #: experiments with a built-in audit (ctl) clear this on failure;
-    #: the CLI exits non-zero when any result has ``ok=False``
+    #: machine-readable pass/fail: every runner's built-in audits record
+    #: themselves via :meth:`check`, any failed check clears this, and the
+    #: CLI exits non-zero when any result has ``ok=False``
     ok: bool = True
+    #: every :meth:`check` performed, as ``{name, ok, detail}`` dicts --
+    #: the uniform audit trail the ``--json`` report carries per result
+    audits: list[dict] = field(default_factory=list)
 
     def add_row(self, **cells: Any) -> None:
         self.rows.append(cells)
+
+    def check(self, name: str, passed: bool, detail: str = "") -> bool:
+        """Record one audit outcome uniformly across experiments.
+
+        A failed check clears :attr:`ok` and leaves an ``AUDIT FAILURE``
+        note in the human-readable table; passed checks are recorded in
+        :attr:`audits` (and thus the JSON report) but stay out of the
+        table. Returns ``passed`` so call sites can branch on it.
+        """
+        self.audits.append({"name": name, "ok": bool(passed),
+                            "detail": detail})
+        if not passed:
+            self.ok = False
+            note = f"AUDIT FAILURE [{name}]"
+            self.notes.append(note + (f": {detail}" if detail else ""))
+        return passed
 
     def column(self, name: str) -> list:
         return [r.get(name) for r in self.rows]
@@ -78,6 +99,7 @@ class ExperimentResult:
             "notes": list(self.notes),
             "paper_reference": dict(self.paper_reference),
             "ok": self.ok,
+            "audits": [dict(a) for a in self.audits],
         }
 
     def format_table(self) -> str:
@@ -96,3 +118,23 @@ class ExperimentResult:
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.format_table()
+
+
+def write_json_report(path: str, results: Sequence[ExperimentResult],
+                      scale: str = "full") -> dict:
+    """Write the uniform machine-readable report every runner shares.
+
+    The report carries each result's rows *and* audit trail, plus a
+    top-level ``ok`` conjoining them -- so CI consumes one shape whether
+    the experiment is ``ctl``, ``fleet`` or a plain table run. Returns
+    the report dict (tests assert on it without re-reading the file).
+    """
+    report = {
+        "scale": scale,
+        "ok": all(r.ok for r in results),
+        "failed": sorted(r.exp_id for r in results if not r.ok),
+        "results": [r.as_dict() for r in results],
+    }
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    return report

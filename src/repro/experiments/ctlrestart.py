@@ -90,7 +90,11 @@ def run_ctl(n_seeds: int = 64, block: int = 8, fault_rate: float = 0.08,
         f"{adopted} sessions adopted across restarts, "
         f"{relaunched} relaunched, {leaked} nodes leaked "
         f"(both must be 0)")
-    if relaunched or leaked or ok != n_seeds:
-        result.ok = False
-        result.notes.append("AUDIT FAILURE: see per-block rows")
+    result.check("no-relaunch", relaunched == 0,
+                 f"{relaunched} adopted sessions were relaunched")
+    result.check("no-leaked-nodes", leaked == 0,
+                 f"{leaked} nodes leaked across restarts")
+    result.check("all-scenarios-ok", ok == n_seeds,
+                 f"{n_seeds - ok} of {n_seeds} scenarios failed "
+                 f"(see per-block rows)")
     return result

@@ -39,7 +39,8 @@ HANG_SPECIAL_RANKS = (0, 1)
 def measure_stat_startup(n_daemons: int, mechanism: str,
                          tasks_per_daemon: int = TASKS_PER_DAEMON,
                          seed: int = 1, hybrid: bool = False,
-                         exact_head: int = HYBRID_EXACT_HEAD) -> dict:
+                         exact_head: int = HYBRID_EXACT_HEAD,
+                         env_factory=make_env) -> dict:
     """One STAT run; returns startup timing (or the failure record).
 
     ``hybrid=True`` (launchmon only) simulates only ``exact_head`` daemons
@@ -47,6 +48,11 @@ def measure_stat_startup(n_daemons: int, mechanism: str,
     validated launch-model terms -- virtual totals within the model's
     error band, class counts exact. The exactness boundary auto-expands
     around the scenario's special ranks.
+
+    ``env_factory`` must match :func:`~repro.runner.make_env`'s signature
+    (e.g. :func:`repro.fleet.make_fleet_member_env`): the bit-identity
+    regression reruns the figure through a single-member fleet and holds
+    the output byte-equal.
     """
     if hybrid and mechanism != "launchmon":
         raise ValueError("the hybrid tier rides the launchmon path only")
@@ -59,7 +65,7 @@ def measure_stat_startup(n_daemons: int, mechanism: str,
             plan, fault_leaves=(r // tasks_per_daemon
                                 for r in HANG_SPECIAL_RANKS))
         n_exact = plan.n_exact
-    env = make_env(n_compute=n_exact, seed=seed)
+    env = env_factory(n_compute=n_exact, seed=seed)
     app = make_hang_app(n_tasks=n_exact * tasks_per_daemon,
                         tasks_per_node=tasks_per_daemon,
                         stuck_ranks=(1,), deadlocked_pair=True)
@@ -88,15 +94,22 @@ def measure_stat_startup(n_daemons: int, mechanism: str,
     return box
 
 
-def _fig6_point(n: int, tasks_per_daemon: int, hybrid: bool = False) -> dict:
+def _fig6_point(n: int, tasks_per_daemon: int, hybrid: bool = False,
+                via_fleet: bool = False) -> dict:
     """One grid point: both mechanisms at ``n`` daemons (worker-safe)."""
+    if via_fleet:
+        from repro.fleet import make_fleet_member_env
+        factory = make_fleet_member_env
+    else:
+        factory = make_env
     if hybrid:
         mrnet: dict = {"failure": "skipped: hybrid tier models the "
                                   "launchmon path only", "spawned": 0}
     else:
-        mrnet = measure_stat_startup(n, "mrnet", tasks_per_daemon)
+        mrnet = measure_stat_startup(n, "mrnet", tasks_per_daemon,
+                                     env_factory=factory)
     lmon = measure_stat_startup(n, "launchmon", tasks_per_daemon,
-                                hybrid=hybrid)
+                                hybrid=hybrid, env_factory=factory)
     if "failure" in mrnet:
         status = ("skipped (hybrid)" if hybrid
                   else f"FAILED after {mrnet['spawned']} daemons (fork)")
@@ -116,8 +129,14 @@ def _fig6_point(n: int, tasks_per_daemon: int, hybrid: bool = False) -> dict:
 
 def run_fig6(node_counts: Sequence[int] = (4, 32, 64, 128, 256, 512),
              tasks_per_daemon: int = TASKS_PER_DAEMON,
-             jobs: int = 1, hybrid: bool = False) -> ExperimentResult:
-    """Regenerate Figure 6's two curves (plus the 512-node failure)."""
+             jobs: int = 1, hybrid: bool = False,
+             via_fleet: bool = False) -> ExperimentResult:
+    """Regenerate Figure 6's two curves (plus the 512-node failure).
+
+    ``via_fleet`` builds every point's machine as a single-member fleet
+    (see :func:`repro.fleet.make_fleet_member_env`); the bit-identity
+    regression asserts the output is unchanged.
+    """
     result = ExperimentResult(
         exp_id="fig6",
         title="STAT start-up: MRNet-rsh vs LaunchMON launch+connect "
@@ -132,7 +151,8 @@ def run_fig6(node_counts: Sequence[int] = (4, 32, 64, 128, 256, 512),
             "launchmon_at_512": "5.6 s",
         },
     )
-    grid = [dict(n=n, tasks_per_daemon=tasks_per_daemon, hybrid=hybrid)
+    grid = [dict(n=n, tasks_per_daemon=tasks_per_daemon, hybrid=hybrid,
+                 via_fleet=via_fleet)
             for n in node_counts]
     result.rows = map_grid(_fig6_point, grid, jobs=jobs)
     if hybrid:

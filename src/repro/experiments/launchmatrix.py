@@ -79,9 +79,15 @@ def _measure_rm_bulk(env, n_daemons: int, image_mb: float,
 
 def measure_launch_cell(strategy: str, staging: str, n_daemons: int,
                         image_mb: float = DAEMON_IMAGE_MB,
-                        seed: int = 1) -> dict:
-    """One matrix cell: cold launch + warm relaunch reports as a dict."""
-    env = make_env(
+                        seed: int = 1, env_factory=make_env) -> dict:
+    """One matrix cell: cold launch + warm relaunch reports as a dict.
+
+    ``env_factory`` must match :func:`~repro.runner.make_env`'s signature
+    (e.g. :func:`repro.fleet.make_fleet_member_env`): the bit-identity
+    regression runs the same cell through a single-member fleet and holds
+    the output byte-equal.
+    """
+    env = env_factory(
         n_compute=n_daemons,
         spec=ClusterSpec(n_compute=n_daemons, staging_mode=staging,
                          seed=seed))
@@ -107,9 +113,16 @@ def measure_launch_cell(strategy: str, staging: str, n_daemons: int,
     }
 
 
-def _lmx_point(strategy: str, staging: str, n: int, image_mb: float) -> dict:
+def _lmx_point(strategy: str, staging: str, n: int, image_mb: float,
+               via_fleet: bool = False) -> dict:
     """One matrix cell as a result-table row (worker-safe)."""
-    cell = measure_launch_cell(strategy, staging, n, image_mb=image_mb)
+    if via_fleet:
+        from repro.fleet import make_fleet_member_env
+        factory = make_fleet_member_env
+    else:
+        factory = make_env
+    cell = measure_launch_cell(strategy, staging, n, image_mb=image_mb,
+                               env_factory=factory)
     return {
         "daemons": n, "strategy": strategy, "staging": staging,
         "total": cell["total"], "t_spawn": cell["t_spawn"],
@@ -122,8 +135,14 @@ def run_launch_matrix(daemon_counts: Sequence[int] = (64, 256, 512),
                       strategies: Sequence[str] = None,
                       stagings: Sequence[str] = STAGINGS,
                       image_mb: float = DAEMON_IMAGE_MB,
-                      jobs: int = 1) -> ExperimentResult:
-    """The full strategy x staging sweep (per-phase scaling attribution)."""
+                      jobs: int = 1,
+                      via_fleet: bool = False) -> ExperimentResult:
+    """The full strategy x staging sweep (per-phase scaling attribution).
+
+    ``via_fleet`` builds every cell's machine as a single-member fleet
+    instead of a bare :func:`~repro.runner.make_env` -- same spec, same
+    seeds; the bit-identity regression asserts the output is unchanged.
+    """
     strategies = tuple(strategies or strategy_names())
     result = ExperimentResult(
         exp_id="lmx",
@@ -132,7 +151,8 @@ def run_launch_matrix(daemon_counts: Sequence[int] = (64, 256, 512),
         columns=["daemons", "strategy", "staging", "total", "t_spawn",
                  "t_image_stage", "warm_total"],
     )
-    grid = [dict(strategy=strategy, staging=staging, n=n, image_mb=image_mb)
+    grid = [dict(strategy=strategy, staging=staging, n=n, image_mb=image_mb,
+                 via_fleet=via_fleet)
             for n in daemon_counts
             for strategy in strategies
             for staging in stagings]

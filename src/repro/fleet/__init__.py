@@ -1,0 +1,80 @@
+"""Federated multi-cluster fleet layer: many clusters behind one front door.
+
+The paper launches tool daemons through *one* machine's resource manager;
+one :class:`~repro.fe.service.ToolService` per cluster is therefore the
+reproduction's scaling ceiling. Production traffic from millions of users
+means many clusters behind a routing tier. This package is that tier:
+
+* :class:`FleetCluster` -- one member: its own simulated
+  :class:`~repro.cluster.Cluster`, resource manager and
+  :class:`~repro.fe.service.ToolService`, all sharing the fleet's single
+  :class:`~repro.simx.Simulator` timeline;
+* :mod:`repro.fleet.placement` -- pluggable placement policies
+  (consistent hashing, least-loaded, locality-aware) choosing a member
+  per incoming session request from the front door's *gossiped* view --
+  never from ground truth;
+* :mod:`repro.fleet.gossip` -- s_group-style partitioned peering
+  (*Scaling Reliably*'s SD Erlang lineage): members exchange versioned
+  health/load digests only with their shard neighbors plus one bridge
+  link per shard, never all-to-all, yet fleet-wide state converges
+  within a bounded number of rounds;
+* :class:`FleetFrontDoor` -- the front door: fleet-wide admission
+  control, placement, and cross-cluster failover when a member is
+  saturated, DEGRADED or crashed -- existing ``fe/service.py`` sessions
+  route through it unchanged.
+
+Build a whole fleet with :func:`make_fleet_env`; the ``fleet`` experiment
+(:mod:`repro.experiments.fleet`) sweeps clusters x arrival rate over it.
+"""
+
+from repro.fleet.health import ClusterHealth, ClusterState, FleetView
+from repro.fleet.placement import (
+    ConsistentHashPolicy,
+    HashRing,
+    LeastLoadedPolicy,
+    LocalityAwarePolicy,
+    PlacementError,
+    PlacementPolicy,
+    PlacementRequest,
+    get_policy,
+    policy_names,
+)
+from repro.fleet.gossip import GossipMesh
+from repro.fleet.member import ClusterUnavailable, FleetCluster
+from repro.fleet.frontdoor import (
+    FleetHandle,
+    FleetFrontDoor,
+    FleetUnavailable,
+)
+from repro.fleet.fleet import (
+    Fleet,
+    FleetEnv,
+    audit_fleet,
+    make_fleet_env,
+    make_fleet_member_env,
+)
+
+__all__ = [
+    "ClusterHealth",
+    "ClusterState",
+    "ClusterUnavailable",
+    "ConsistentHashPolicy",
+    "Fleet",
+    "FleetEnv",
+    "FleetFrontDoor",
+    "FleetHandle",
+    "FleetUnavailable",
+    "FleetView",
+    "GossipMesh",
+    "HashRing",
+    "LeastLoadedPolicy",
+    "LocalityAwarePolicy",
+    "PlacementError",
+    "PlacementPolicy",
+    "PlacementRequest",
+    "audit_fleet",
+    "get_policy",
+    "make_fleet_env",
+    "make_fleet_member_env",
+    "policy_names",
+]

@@ -1,0 +1,427 @@
+"""The fleet front door: admission, placement, and cross-cluster failover.
+
+One :class:`FleetFrontDoor` fronts every member cluster. A submission
+returns a :class:`FleetHandle` immediately (the fleet-level analogue of
+:class:`~repro.fe.service.SessionHandle`); behind it a supervisor process
+
+1. acquires the **fleet-wide admission gate** (``max_in_flight``) -- the
+   stampede guard in front of every cluster, on top of each member
+   ToolService's own gate;
+2. asks the placement policy for a member, *reading only the door's
+   gossiped view*; a pick the view says is saturated or DEGRADED is
+   spilled past while any healthy candidate remains (this is what
+   "failover when a cluster is saturated or DEGRADED" means at the
+   routing tier -- load failover before anything has been launched);
+3. submits to the member and waits. A dead member -- refusing the
+   submission with :class:`~repro.fleet.member.ClusterUnavailable`, or
+   killing the session mid-launch -- is marked DOWN in the door's view
+   (direct evidence, stronger than waiting out gossip suspicion) and the
+   request **fails over** to the next choice, excluding every cluster
+   already tried;
+4. gives up with :class:`FleetUnavailable` only when no routable member
+   remains -- fleet-wide rejection, the admission-control backstop.
+
+The door is also a gossip observer: it peers with each shard head (one
+link per shard, s_group style) and drives mesh rounds from a lazy
+background process that runs only while handles are in flight -- an idle
+fleet's simulation still terminates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Set, Union
+
+from repro.fe.api import FrontEndError
+from repro.fe.service import SessionHandle
+from repro.fe.session import LMONSession, SessionState
+from repro.fleet.gossip import GossipMesh
+from repro.fleet.health import FleetView
+from dataclasses import replace
+from repro.fleet.member import ClusterUnavailable, FleetCluster
+from repro.fleet.placement import (
+    PlacementPolicy,
+    PlacementRequest,
+    get_policy,
+)
+from repro.rm import RMError
+from repro.simx import Event, Interrupt, Resource, Simulator
+
+__all__ = ["FleetFrontDoor", "FleetHandle", "FleetUnavailable"]
+
+
+class FleetUnavailable(RuntimeError):
+    """No routable cluster left for a request: fleet-wide rejection."""
+
+
+class FleetHandle:
+    """Future for one fleet submission, across however many failovers.
+
+    ``attempts`` records every member tried, in order; ``failovers`` is
+    ``len(attempts) - 1`` for a request that eventually landed.
+    ``launch_latency`` is client-visible: *fleet* submit time to the
+    winning session's READY/DEGRADED mark -- failover detours included,
+    which is exactly why the fleet experiment reports it.
+    """
+
+    def __init__(self, sim: Simulator, handle_id: int,
+                 request: PlacementRequest):
+        self.sim = sim
+        self.id = handle_id
+        self.request = request
+        self.submitted_at = sim.now
+        self.finished_at: Optional[float] = None
+        #: member names tried, in order (last one served, if any succeeded)
+        self.attempts: List[str] = []
+        self.failovers = 0
+        #: the current (finally: winning or last-tried) member session
+        self.session_handle: Optional[SessionHandle] = None
+        self._proc = None  # supervisor Process, set by the front door
+
+    # -- future surface (mirrors SessionHandle) ------------------------------
+    @property
+    def done(self) -> bool:
+        return self._proc is not None and self._proc.triggered
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        if self.done:
+            return self._proc.exception
+        return None
+
+    def result(self) -> LMONSession:
+        """The served session; raises the terminal failure (including
+        :class:`FleetUnavailable` on rejection) if there is one."""
+        if not self.done:
+            raise FrontEndError(
+                f"fleet handle {self.id}: request still in flight")
+        exc = self.exception
+        if exc is not None:
+            raise exc
+        return self._proc.value
+
+    def cancel(self, reason: Any = "cancelled by client") -> bool:
+        """Abort the request (False if already finished). The supervisor
+        propagates the cancel to whichever member session is in flight."""
+        if self.done:
+            return False
+        self._proc.interrupt(reason)
+        return True
+
+    def wait(self) -> Generator[Any, Any, LMONSession]:
+        """Suspend the calling sim process until done; like ``result()``,
+        re-raises the terminal failure."""
+        if not self.done:
+            ev = Event(self.sim)
+            self._proc.callbacks.append(lambda _: ev.succeed(self))
+            yield ev
+        return self.result()
+
+    @property
+    def cluster(self) -> Optional[str]:
+        """The member that (last) served this request."""
+        return self.attempts[-1] if self.attempts else None
+
+    @property
+    def launch_latency(self) -> Optional[float]:
+        """Fleet submit -> winning session READY/DEGRADED (None until
+        then); includes admission wait, placement and failover detours."""
+        sub = self.session_handle
+        if sub is None:
+            return None
+        t_ready = sub.state_times.get(SessionState.READY)
+        if t_ready is None:
+            t_ready = sub.state_times.get(SessionState.DEGRADED)
+        if t_ready is None:
+            return None
+        return t_ready - self.submitted_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        status = "done" if self.done else "in-flight"
+        return (f"<FleetHandle {self.id} key={self.request.key!r} "
+                f"attempts={self.attempts} {status}>")
+
+
+class FleetFrontDoor:
+    """Route sessions across member clusters; fail over; admit fleet-wide.
+
+    ``policy`` is a :class:`~repro.fleet.placement.PlacementPolicy`
+    instance or a registered name (``hash`` / ``least-loaded`` /
+    ``locality``). ``mesh`` is the fleet's gossip overlay; the door
+    attaches itself as an observer and drives rounds every
+    ``gossip_period`` of virtual time while requests are in flight.
+    Without a mesh the door still works -- its view then updates only
+    from registration records and its own direct evidence.
+    """
+
+    def __init__(self, members: Sequence[FleetCluster],
+                 policy: Union[PlacementPolicy, str] = "least-loaded",
+                 mesh: Optional[GossipMesh] = None,
+                 max_in_flight: Optional[int] = None,
+                 gossip_period: float = 0.25,
+                 name: str = "frontdoor"):
+        if not members:
+            raise ValueError("a fleet needs at least one member cluster")
+        self.name = name
+        self.sim: Simulator = members[0].sim
+        self._members: Dict[str, FleetCluster] = {}
+        for member in members:
+            if member.sim is not self.sim:
+                raise ValueError(
+                    f"member {member.name} lives on a different simulator")
+            if member.name in self._members:
+                raise ValueError(f"duplicate member name {member.name!r}")
+            self._members[member.name] = member
+        if isinstance(policy, str):
+            policy = get_policy(
+                policy, sorted(self._members),
+                zones={m.name: m.zone for m in members})
+        self.policy = policy
+        self.mesh = mesh
+        self.gossip_period = gossip_period
+        self.max_in_flight = max_in_flight
+        self._gate = (Resource(self.sim, max_in_flight, name=f"{name}-gate")
+                      if max_in_flight is not None else None)
+        #: the door's own gossiped picture of the fleet, seeded from each
+        #: member's registration record (deploy-time config, not gossip)
+        self.view = FleetView()
+        for member in members:
+            reg = member.view.get(member.name)
+            if reg is not None:
+                self.view.put(reg)
+        if mesh is not None:
+            mesh.attach_observer(self)
+        #: every fleet handle ever submitted, in submission order
+        self.handles: List[FleetHandle] = []
+        self.failovers = 0
+        self.rejected = 0
+        self._gossip_proc = None
+        self._seq = 0
+        #: door-local bookkeeping of requests routed but not yet finished,
+        #: per member: (count, nodes). Gossip only refreshes every period,
+        #: so without this overlay a burst of same-instant submissions
+        #: would all read the same stale record and pile onto one cluster
+        #: -- classic least-outstanding-requests balancing fixes that with
+        #: knowledge the door honestly has (its own routing decisions).
+        self._outstanding: Dict[str, List[int]] = {}
+
+    # -- submission ----------------------------------------------------------
+    def submit_launch(self, app, daemon_spec, usr_data: Any = None,
+                      tool_name: str = "tool",
+                      body: Optional[Callable[..., Generator]] = None,
+                      key: Optional[str] = None, zone: str = "",
+                      ) -> FleetHandle:
+        """Non-blocking fleet launch; returns a handle immediately.
+
+        Arguments mirror :meth:`~repro.fe.service.ToolService.submit_launch`
+        -- existing service sessions route through unchanged -- plus the
+        routing ``key`` (defaults to the tool name: one tool's sessions
+        stick to one cluster under the hash policy) and a locality
+        ``zone`` preference.
+        """
+        request = PlacementRequest(key=key if key is not None else tool_name,
+                                   zone=zone, n_nodes=app.nodes_needed())
+        handle = FleetHandle(self.sim, self._seq, request)
+        self._seq += 1
+        proc = self.sim.process(
+            self._supervise(handle, app, daemon_spec, usr_data, tool_name,
+                            body),
+            name=f"{self.name}:req{handle.id}")
+        handle._proc = proc
+        proc.callbacks.append(self._observe)
+        self.handles.append(handle)
+        self._ensure_gossip_driver()
+        return handle
+
+    @staticmethod
+    def _observe(ev) -> None:
+        """Defuse a failed supervisor so rejection/cancel surfaces through
+        ``handle.result()`` instead of crashing the simulator run."""
+        if ev.exception is not None:
+            ev.defuse()
+
+    # -- placement -----------------------------------------------------------
+    def _note_routed(self, target: str, n_nodes: int) -> None:
+        entry = self._outstanding.setdefault(target, [0, 0])
+        entry[0] += 1
+        entry[1] += n_nodes
+
+    def _note_finished(self, target: str, n_nodes: int) -> None:
+        entry = self._outstanding[target]
+        entry[0] -= 1
+        entry[1] -= n_nodes
+
+    def effective_view(self) -> FleetView:
+        """The gossiped view with the door's own outstanding requests
+        charged on top: each member's record loses the nodes the door has
+        routed at it but not yet seen finish, and gains their in-flight
+        count. Policies read this, so a same-instant burst spreads
+        instead of piling onto whichever member gossip last flattered."""
+        view = FleetView()
+        for rec in self.view.records():
+            count, nodes = self._outstanding.get(rec.cluster, (0, 0))
+            if count:
+                rec = replace(rec, n_free=max(0, rec.n_free - nodes),
+                              in_flight=rec.in_flight + count)
+            view.put(rec)
+        return view
+
+    def _place(self, request: PlacementRequest,
+               tried: Set[str]) -> Optional[str]:
+        """One placement decision against the current view.
+
+        The policy's pick is final unless the view says it is shunned
+        (saturated/DEGRADED); then the door spills deterministically to
+        the policy's next choices while a healthy candidate exists --
+        sticky policies keep their affinity in the healthy case and
+        still avoid sick clusters under pressure.
+        """
+        view = self.effective_view()
+        choice = self.policy.choose(request, view, tried)
+        if choice is None:
+            return None
+        rec = view.get(choice)
+        if rec is None or not rec.shunned:
+            return choice
+        spill = set(tried)
+        spill.add(choice)
+        while True:
+            alt = self.policy.choose(request, view, spill)
+            if alt is None:
+                return choice  # whole fleet shunned: original pick
+            alt_rec = view.get(alt)
+            if alt_rec is None or not alt_rec.shunned:
+                return alt
+            spill.add(alt)
+
+    # -- the per-request supervisor ------------------------------------------
+    def _supervise(self, handle: FleetHandle, app, daemon_spec,
+                   usr_data: Any, tool_name: str,
+                   body: Optional[Callable[..., Generator]],
+                   ) -> Generator[Any, Any, LMONSession]:
+        gate_req: Optional[Event] = None
+        if self._gate is not None:
+            gate_req = self._gate.request()
+            try:
+                yield gate_req
+            except BaseException:
+                self._gate.cancel(gate_req)
+                handle.finished_at = self.sim.now
+                raise
+        try:
+            tried: Set[str] = set()
+            while True:
+                target = self._place(handle.request, tried)
+                if target is None:
+                    self.rejected += 1
+                    raise FleetUnavailable(
+                        f"no routable cluster for request "
+                        f"{handle.request.key!r} (tried {sorted(tried)})")
+                if handle.attempts:
+                    handle.failovers += 1
+                    self.failovers += 1
+                handle.attempts.append(target)
+                member = self._members[target]
+                try:
+                    sub = member.submit_launch(app, daemon_spec,
+                                               usr_data=usr_data,
+                                               tool_name=tool_name, body=body)
+                except ClusterUnavailable:
+                    # dead on contact: direct evidence beats gossip
+                    self.view.mark_down(target)
+                    tried.add(target)
+                    continue
+                handle.session_handle = sub
+                self._note_routed(target, handle.request.n_nodes)
+                try:
+                    session = yield from sub.wait()
+                except BaseException as exc:
+                    if not (sub.done and sub.exception is exc):
+                        # the *supervisor* was interrupted (fleet-level
+                        # cancel): take the live session down with it
+                        sub.cancel(reason="fleet request cancelled")
+                        raise
+                    if member.crashed:
+                        # the member died under this session
+                        self.view.mark_down(target)
+                        tried.add(target)
+                        continue
+                    if isinstance(exc, RMError):
+                        # cluster-level resource refusal: worth a failover
+                        tried.add(target)
+                        continue
+                    raise  # tool-level failure: failover would not help
+                finally:
+                    self._note_finished(target, handle.request.n_nodes)
+                return session
+        finally:
+            handle.finished_at = self.sim.now
+            if gate_req is not None:
+                self._gate.release()
+
+    # -- gossip driving ------------------------------------------------------
+    def _ensure_gossip_driver(self) -> None:
+        if self.mesh is None:
+            return
+        if self._gossip_proc is not None and not self._gossip_proc.triggered:
+            return
+        self._gossip_proc = self.sim.process(
+            self._gossip_driver(), name=f"{self.name}-gossip")
+
+    def _gossip_driver(self) -> Generator[Any, Any, None]:
+        """Run mesh rounds while any request is in flight; exit when the
+        door goes quiescent (so ``sim.run()`` terminates)."""
+        while any(not h.done for h in self.handles):
+            yield self.sim.timeout(self.gossip_period)
+            self.mesh.run_round()
+
+    # -- completion ----------------------------------------------------------
+    def drain(self) -> Generator[Any, Any, List[LMONSession]]:
+        """Wait for every fleet handle; returns the served sessions.
+
+        Rejections (:class:`FleetUnavailable`) and deliberate cancels
+        (:class:`~repro.simx.Interrupt`) are expected terminal outcomes
+        and are skipped; any other failure re-raises, first in submission
+        order -- matching :meth:`ToolService.drain`.
+        """
+        sessions: List[LMONSession] = []
+        i = 0
+        while i < len(self.handles):
+            handle = self.handles[i]
+            i += 1
+            try:
+                sessions.append((yield from handle.wait()))
+            except (FleetUnavailable, Interrupt):
+                continue
+        return sessions
+
+    def summary(self) -> dict:
+        """Aggregate door metrics (the fleet experiment's raw material)."""
+        done = [h for h in self.handles if h.done and h.exception is None]
+        latencies = sorted(h.launch_latency for h in done
+                           if h.launch_latency is not None)
+        cancelled = sum(1 for h in self.handles
+                        if h.done and isinstance(h.exception, Interrupt))
+        rejected = sum(1 for h in self.handles
+                       if h.done and isinstance(h.exception, FleetUnavailable))
+        failed = sum(1 for h in self.handles
+                     if h.done and h.exception is not None
+                     and not isinstance(h.exception,
+                                        (Interrupt, FleetUnavailable)))
+        per_cluster: Dict[str, int] = {}
+        for h in done:
+            if h.cluster is not None:
+                per_cluster[h.cluster] = per_cluster.get(h.cluster, 0) + 1
+        return {
+            "submitted": len(self.handles),
+            "completed": len(done),
+            "failed": failed,
+            "cancelled": cancelled,
+            "rejected": rejected,
+            "failovers": sum(h.failovers for h in self.handles),
+            "launch_latencies": latencies,
+            "served_by": dict(sorted(per_cluster.items())),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<FleetFrontDoor {self.name} members={len(self._members)} "
+                f"policy={self.policy.name} handles={len(self.handles)}>")

@@ -1,0 +1,156 @@
+"""One fleet member: a simulated cluster, its RM and ToolService, plus
+the gossip persona (versioned self-reports, a local view, crash flag).
+
+Members share the fleet's single :class:`~repro.simx.Simulator` -- one
+virtual timeline across the whole fleet -- but nothing else: each has its
+own node namespace, RM ledger and ToolService, so a leak audit can hold
+every member to ``live_allocations == {}`` independently.
+
+Crashing a member models the *whole cluster* dropping off the fleet
+(power/partition), not individual node faults -- those stay the job of
+the PR 3 fault plans inside a cluster. A crashed member refuses new
+submissions with :class:`ClusterUnavailable` (the front door's direct
+evidence for ``mark_down``) and cancels its in-flight sessions, whose
+existing FE cleanup paths return every allocation to the RM.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Type
+
+from repro.cluster import Cluster, ClusterSpec, CostModel
+from repro.fe.service import SessionHandle, ToolService
+from repro.fleet.health import ClusterHealth, ClusterState, FleetView
+from repro.rm import ResourceManager, SlurmRM
+from repro.simx import Simulator
+
+__all__ = ["ClusterUnavailable", "FleetCluster"]
+
+
+class ClusterUnavailable(RuntimeError):
+    """Submission refused: the member cluster is crashed/unreachable."""
+
+
+class FleetCluster:
+    """A member cluster plus its fleet-facing identity.
+
+    Build standalone pieces yourself and wrap them, or use
+    :meth:`build` (what :class:`~repro.fleet.fleet.Fleet` does) to get
+    the conventional naming -- member ``c3`` owns front end ``c3-fe``
+    and compute nodes ``c3n000...``.
+    """
+
+    def __init__(self, name: str, cluster: Cluster, rm: ResourceManager,
+                 service: ToolService, zone: str = ""):
+        self.name = name
+        self.zone = zone
+        self.cluster = cluster
+        self.rm = rm
+        self.service = service
+        self.sim: Simulator = cluster.sim
+        #: this member's gossip-merged picture of the fleet
+        self.view = FleetView()
+        #: set by :meth:`crash`; a crashed member neither serves nor gossips
+        self.crashed = False
+        #: operator override: report DEGRADED regardless of blacklist state
+        self.degraded = False
+        self._version = 0
+        self.view.put(self.publish_health())
+
+    @classmethod
+    def build(cls, sim: Simulator, name: str, n_compute: int,
+              rm_cls: Type[ResourceManager] = SlurmRM, seed: int = 1,
+              zone: str = "", spec: Optional[ClusterSpec] = None,
+              costs: Optional[CostModel] = None,
+              max_in_flight: Optional[int] = None,
+              **rm_kwargs: Any) -> "FleetCluster":
+        cluster_spec = spec or ClusterSpec(
+            n_compute=n_compute, fe_name=f"{name}-fe",
+            compute_prefix=f"{name}n", seed=seed)
+        cluster = Cluster(sim, cluster_spec, costs=costs)
+        rm = rm_cls(cluster, **rm_kwargs)
+        service = ToolService(cluster, rm, max_in_flight=max_in_flight,
+                              name=f"{name}-svc")
+        return cls(name, cluster, rm, service, zone=zone)
+
+    # -- gossip persona ------------------------------------------------------
+    def state(self) -> ClusterState:
+        """This member's honest self-assessment (never DOWN -- a member
+        that can self-report is, by that fact, not down; DOWN only enters
+        views as neighbor suspicion or front-door direct evidence)."""
+        if self.degraded or self.rm.node_blacklist:
+            return ClusterState.DEGRADED
+        if self.rm.n_free == 0 or self.rm.queued_requests > 0:
+            return ClusterState.SATURATED
+        return ClusterState.UP
+
+    def publish_health(self) -> ClusterHealth:
+        """A fresh self-report; each call bumps the version so liveness
+        is visible as version progress (and slander is out-gossiped)."""
+        self._version += 1
+        return ClusterHealth(
+            cluster=self.name,
+            state=self.state(),
+            version=self._version,
+            n_free=self.rm.n_free,
+            n_total=self.rm.n_total,
+            in_flight=self.service.in_flight,
+            queued=self.rm.queued_requests,
+            zone=self.zone,
+        )
+
+    # -- serving -------------------------------------------------------------
+    def submit_launch(self, *args: Any, **kwargs: Any) -> SessionHandle:
+        """Delegate to the member's ToolService, unless crashed."""
+        if self.crashed:
+            raise ClusterUnavailable(f"cluster {self.name} is down")
+        return self.service.submit_launch(*args, **kwargs)
+
+    def crash(self) -> int:
+        """The whole cluster drops off the fleet; returns how many
+        in-flight sessions were killed.
+
+        Every non-terminal handle is cancelled: the Interrupt unwinds the
+        operation wherever it is (queued at the gate, waiting for nodes,
+        mid-spawn, running its body) and the FE/RM cleanup paths release
+        what was acquired -- the leak audit then holds this member's
+        ledger to empty like everyone else's.
+        """
+        if self.crashed:
+            return 0
+        self.crashed = True
+        killed = 0
+        for handle in self.service.handles:
+            if not handle.done:
+                if handle.cancel(reason=f"cluster {self.name} crashed"):
+                    killed += 1
+        return killed
+
+    # -- load/audit snapshots ------------------------------------------------
+    @property
+    def n_free(self) -> int:
+        return self.rm.n_free
+
+    @property
+    def n_total(self) -> int:
+        return self.rm.n_total
+
+    @property
+    def in_flight(self) -> int:
+        return self.service.in_flight
+
+    @property
+    def queued(self) -> int:
+        return self.rm.queued_requests
+
+    @property
+    def leaked_allocations(self) -> int:
+        """Entries still on the RM ledger -- 0 after a full drain unless
+        something leaked (the fleet experiment's audit criterion)."""
+        return len(self.rm.live_allocations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = " CRASHED" if self.crashed else ""
+        return (f"<FleetCluster {self.name} zone={self.zone!r} "
+                f"free={self.n_free}/{self.n_total} "
+                f"in_flight={self.in_flight}{flag}>")

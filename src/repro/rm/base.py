@@ -330,6 +330,18 @@ class ResourceManager:
         return len(self._alloc_waiters)
 
     @property
+    def n_free(self) -> int:
+        """Grantable compute nodes right now, O(1) (health snapshots --
+        :meth:`free_nodes` sorts and materializes Node objects)."""
+        return len(self._free)
+
+    @property
+    def n_total(self) -> int:
+        """Total compute nodes behind this RM, including failed or
+        blacklisted ones (capacity, not availability)."""
+        return len(self.cluster.compute)
+
+    @property
     def allocated_node_names(self) -> frozenset:
         """Names of nodes currently granted to some allocation (audits)."""
         return frozenset(self._allocated)

@@ -1,0 +1,38 @@
+"""Bit-identity guard: a fleet of one cluster changes nothing.
+
+Same contract (and same baseline file) as the streaming and hybrid
+guards before it: the ``fig6`` and ``lmx`` quick sweeps, rerun with every
+point's machine built as a **single-member fleet**
+(:func:`repro.fleet.make_fleet_member_env` via ``via_fleet=True``), must
+match ``tests/baselines/pr3_fig6_lmx_quick.txt`` **byte for byte**.
+
+That holds only if the fleet wrapping -- member ToolService, gossip
+mesh, front door -- schedules zero events and draws zero RNG until
+actually exercised. A failure here after a fleet change means the fleet
+layer leaked into the single-cluster path (an extra process, an eager
+gossip round, an RNG draw at construction): fix the leak, not the
+baseline.
+"""
+
+from pathlib import Path
+
+from repro.experiments.cli import QUICK_SWEEPS
+from repro.experiments import run_fig6, run_launch_matrix
+
+BASELINE = Path(__file__).parent.parent / "baselines" \
+    / "pr3_fig6_lmx_quick.txt"
+
+
+def test_single_member_fleet_matches_direct_path_byte_for_byte():
+    fig6 = run_fig6(via_fleet=True, **QUICK_SWEEPS["fig6"])
+    lmx = run_launch_matrix(via_fleet=True, **QUICK_SWEEPS["lmx"])
+    rendered = (fig6.format_table() + "\n\n"
+                + lmx.format_table() + "\n\n")
+    assert rendered == BASELINE.read_text()
+
+
+def test_fleet_member_env_runs_zero_events_at_construction():
+    from repro.fleet import make_fleet_member_env
+    env = make_fleet_member_env(n_compute=16)
+    assert env.sim.stats.events == 0
+    assert env.sim.now == 0.0
