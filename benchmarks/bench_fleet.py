@@ -17,6 +17,15 @@ file holds it to:
 * **Reach.** A ``XL_CLUSTERS``-cluster fleet absorbing ``XL_ARRIVALS``
   sessions (crash included) completes within ``XL_WALL_BUDGET`` wall
   seconds on one machine.
+* **Partition tolerance is inert until faulted.** A fleet carrying the
+  full netfault/fencing machinery but an *empty* fault plan produces a
+  door summary identical to one built with no plan at all -- the
+  partition-tolerance tier perturbs nothing on the fault-free path.
+* **Chaos storms stay cheap and audited.** A batch of seeded partition
+  storms (``repro.fleet.chaos``) completes within
+  ``CHAOS_WALL_PER_STORM`` wall seconds per storm with every invariant
+  audit green: zero double allocations, zero leaks, bounded failover,
+  post-heal convergence.
 
 Under pytest the assertions run at quick scale (CI smoke); run the file
 directly for plain JSON on stdout (the artifact behind the committed
@@ -43,9 +52,13 @@ WRAP_WALL_FACTOR = 3.0
 FAILOVER_P99_FACTOR = 5.0
 #: wall budget for the XL reach point (seconds)
 XL_WALL_BUDGET = 120.0
+#: wall budget per seeded chaos storm (seconds) -- each storm is a full
+#: 5-member fleet run through a partition schedule plus invariant audit
+CHAOS_WALL_PER_STORM = 2.0
 
 XL_CLUSTERS = 32
 XL_ARRIVALS = 256
+CHAOS_STORMS = 20
 
 #: the fig6 LaunchMON point both env paths are compared at
 WRAP_DAEMONS = 64
@@ -136,6 +149,90 @@ def xl_point(n_clusters: int = XL_CLUSTERS,
     }
 
 
+def netfault_inert_pair(n_clusters: int = 4, n_arrivals: int = 12) -> dict:
+    """The same arrival stream with no fault plan vs an *empty* plan.
+
+    The empty-plan fleet carries the whole netfault/fencing apparatus
+    (injector attached, reconcile pass armed) but schedules no faults;
+    its door summary and simulated event count must match the plain
+    fleet exactly.
+    """
+    from repro.apps import make_compute_app
+    from repro.be import BackEnd
+    from repro.cluster import NetFaultPlan
+    from repro.fleet import make_fleet_env
+    from repro.rm import DaemonSpec
+    from repro.runner import drive
+    from repro.simx import SeededRNG
+
+    def daemon(ctx):
+        be = BackEnd(ctx)
+        yield from be.init()
+        yield from be.ready()
+        yield from be.finalize()
+
+    def body(fe, session):
+        yield fe.cluster.sim.timeout(0.25)
+        yield from fe.detach(session, reclaim_job=True)
+        return session.id
+
+    def run(plan):
+        env = make_fleet_env(n_clusters=n_clusters, nodes_per_cluster=8,
+                             shard_size=2, net_fault_plan=plan, seed=7)
+        fleet = env.fleet
+        app = make_compute_app(n_tasks=8, tasks_per_node=4)
+        spec = DaemonSpec("bench_fleet_be", main=daemon, image_mb=1.0)
+        rng = SeededRNG(7, "bench:inert")
+
+        def driver():
+            for i in range(n_arrivals):
+                fleet.submit_launch(app, spec, tool_name=f"user{i:03d}",
+                                    body=body)
+                yield env.sim.timeout(rng.expovariate(8.0))
+            yield from fleet.drain()
+
+        t0 = time.perf_counter()
+        drive(env, driver())
+        wall = time.perf_counter() - t0
+        return fleet.door.summary(), env.sim.stats.events, wall
+
+    plain_summary, plain_events, plain_wall = run(None)
+    empty_summary, empty_events, empty_wall = run(NetFaultPlan())
+    return {
+        "n_clusters": n_clusters,
+        "n_arrivals": n_arrivals,
+        "plain": {"wall_s": plain_wall, "sim_events": plain_events,
+                  "completed": plain_summary["completed"]},
+        "empty_plan": {"wall_s": empty_wall, "sim_events": empty_events,
+                       "completed": empty_summary["completed"]},
+        "summary_identical": plain_summary == empty_summary,
+        "events_identical": plain_events == empty_events,
+    }
+
+
+def chaos_batch(n_storms: int = CHAOS_STORMS) -> dict:
+    """A batch of seeded partition storms with their invariant audits."""
+    from repro.fleet.chaos import run_fleet_chaos, scenario_for_seed
+
+    t0 = time.perf_counter()
+    results = [run_fleet_chaos(scenario_for_seed(seed))
+               for seed in range(n_storms)]
+    wall = time.perf_counter() - t0
+    return {
+        "n_storms": n_storms,
+        "wall_s": wall,
+        "wall_per_storm": wall / max(n_storms, 1),
+        "all_ok": all(r.ok for r in results),
+        "double_allocations": sum(r.double_allocations for r in results),
+        "leaked": sum(r.leaked for r in results),
+        "unconverged": sum(1 for r in results if not r.converged),
+        "abandoned": sum(r.abandoned for r in results),
+        "fences_delivered": sum(r.fences_delivered for r in results),
+        "breaker_trips": sum(r.breaker_trips for r in results),
+        "readmissions": sum(r.readmissions for r in results),
+    }
+
+
 def fleet_bench_payload(quick: bool = False) -> dict:
     payload = {
         "config": {
@@ -143,9 +240,12 @@ def fleet_bench_payload(quick: bool = False) -> dict:
             "failover_p99_factor": FAILOVER_P99_FACTOR,
             "xl_wall_budget_s": XL_WALL_BUDGET,
             "wrap_daemons": WRAP_DAEMONS,
+            "chaos_wall_per_storm_s": CHAOS_WALL_PER_STORM,
         },
         "wrap": wrap_pair(16 if quick else WRAP_DAEMONS),
         "failover": failover_pair(n_arrivals=12 if quick else 24),
+        "netfault_inert": netfault_inert_pair(),
+        "chaos": chaos_batch(6 if quick else CHAOS_STORMS),
     }
     if not quick:
         payload["xl"] = xl_point()
@@ -167,6 +267,15 @@ def check_claims(payload: dict, quick: bool = False) -> None:
     assert failover["faulted"]["failovers"] > 0, failover
     assert failover["clean"]["failovers"] == 0, failover
     assert failover["p99_factor"] < FAILOVER_P99_FACTOR, failover
+    inert = payload["netfault_inert"]
+    assert inert["summary_identical"], inert
+    assert inert["events_identical"], inert
+    chaos = payload["chaos"]
+    assert chaos["all_ok"], chaos
+    assert chaos["double_allocations"] == 0, chaos
+    assert chaos["leaked"] == 0, chaos
+    assert chaos["unconverged"] == 0, chaos
+    assert chaos["wall_per_storm"] < CHAOS_WALL_PER_STORM, chaos
     if not quick:
         # wall factors only mean anything at full scale (quick points
         # are milliseconds, dominated by interpreter noise)
@@ -203,6 +312,17 @@ class TestFleetBench:
 
     def test_failover_detour_bounded(self, payload):
         assert payload["failover"]["p99_factor"] < FAILOVER_P99_FACTOR
+
+    def test_netfault_machinery_inert_without_faults(self, payload):
+        inert = payload["netfault_inert"]
+        assert inert["summary_identical"] and inert["events_identical"]
+
+    def test_chaos_storms_audited_green(self, payload):
+        chaos = payload["chaos"]
+        assert chaos["all_ok"]
+        assert chaos["double_allocations"] == 0
+        assert chaos["leaked"] == 0
+        assert chaos["unconverged"] == 0
 
 
 @pytest.mark.benchmark(group="fleet")

@@ -104,6 +104,11 @@ HOT_PATH_MODULES = (
     "repro/fleet/placement.py",
     "repro/fleet/gossip.py",
     "repro/fleet/frontdoor.py",
+    # the netfault injector is consulted per gossip pull edge and the
+    # chaos harness runs hundreds of seeded storms per soak: per-edge
+    # or per-storm scans here compound across every chaos iteration
+    "repro/cluster/faults.py",
+    "repro/fleet/chaos.py",
 )
 
 #: modules the hybrid tier runs through: anywhere here that iterates the

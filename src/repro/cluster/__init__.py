@@ -43,8 +43,17 @@ from repro.cluster.faults import (
     FaultInjector,
     FaultPlan,
     FaultStats,
+    FlappingLink,
     FsStall,
+    GossipDelay,
+    GossipDup,
+    GossipLoss,
     LinkFlap,
+    NetFaultInjector,
+    NetFaultPlan,
+    NetFaultStats,
+    NetLinkDown,
+    NetPartition,
     NodeCrash,
     Straggler,
 )
@@ -68,9 +77,18 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultStats",
+    "FlappingLink",
     "ForkError",
     "FsStall",
+    "GossipDelay",
+    "GossipDup",
+    "GossipLoss",
     "LinkFlap",
+    "NetFaultInjector",
+    "NetFaultPlan",
+    "NetFaultStats",
+    "NetLinkDown",
+    "NetPartition",
     "Network",
     "Node",
     "NodeCrash",

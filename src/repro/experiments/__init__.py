@@ -23,6 +23,9 @@ ctl       extension: control-plane crash-restart (adoption across daemon
 fleet     extension: federated multi-cluster front door (clusters x
           arrival rate; failover under an injected cluster crash,
           fleet-wide leak audit)
+fleetchaos extension: fleet partition chaos (seeded netsplit/flap/crash
+          storms; split-brain fencing, bounded failover, post-heal
+          convergence -- every invariant audited per storm)
 ========  ==========================================================
 
 Run from the command line: ``python -m repro.experiments fig3`` (or the
@@ -33,6 +36,7 @@ from repro.experiments.common import ExperimentResult, percentile
 from repro.experiments.ctlrestart import run_ctl
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fleet import run_fleet
+from repro.experiments.fleetchaos import run_fleetchaos
 from repro.experiments.launchmatrix import run_launch_matrix
 from repro.experiments.multitenant import run_multitenant
 from repro.experiments.resilience import run_resilience
@@ -58,6 +62,7 @@ __all__ = [
     "run_fig5",
     "run_fig6",
     "run_fleet",
+    "run_fleetchaos",
     "run_launch_matrix",
     "run_multitenant",
     "run_resilience",

@@ -41,6 +41,7 @@ from repro.experiments import (
     run_fig5,
     run_fig6,
     run_fleet,
+    run_fleetchaos,
     run_launch_matrix,
     run_multitenant,
     run_resilience,
@@ -71,6 +72,9 @@ QUICK_SWEEPS = {
     # cluster crash per point, leak-audited against every member RM
     "fleet": dict(cluster_counts=(8,), arrival_rates=(2.0, 4.0, 8.0, 16.0),
                   n_arrivals=24),
+    # 16 storms across all 5 chaos variants; every run audited for zero
+    # double allocation / zero leaks / bounded failover / convergence
+    "fleetchaos": dict(n_seeds=16, block=4),
 }
 
 #: the 16k/64k-daemon tier (see module docstring). Per-daemon task counts
@@ -97,6 +101,7 @@ XL_SWEEPS = {
     "fleet": dict(cluster_counts=(16, 32), arrival_rates=(8.0, 32.0, 64.0),
                   n_arrivals=192, nodes_per_cluster=32,
                   nodes_per_session=4),
+    "fleetchaos": dict(n_seeds=200, block=20),
 }
 
 #: the 1M-daemon tier: only the hybrid analytic/discrete path reaches it
@@ -129,6 +134,7 @@ RUNNERS = {
     "str": run_streaming,
     "ctl": run_ctl,
     "fleet": run_fleet,
+    "fleetchaos": run_fleetchaos,
 }
 
 

@@ -20,6 +20,11 @@ counts, makespan, and the leak audit. The experiment's built-in checks
 point to **zero leaked node allocations** across every member RM and
 require **failover > 0** under the injected fault -- the acceptance
 criteria of the fleet tier, machine-readable via ``--json``.
+
+Each row also carries a table-invisible ``per_member`` mapping (member
+name -> served / failed attempts / refusals / breaker trips / fences)
+so the JSON report shows *where* the failovers and rejections landed,
+not just their fleet-wide totals.
 """
 
 from __future__ import annotations
@@ -138,6 +143,9 @@ def _fleet_point(n_clusters: int, arrival_rate: float, n_arrivals: int,
         "fault_target": info["fault_target"] or "-",
         "leaked": sum(audit["leaked_allocations"].values()),
         "audit_ok": audit["ok"],
+        # table-invisible, travels through --json: per-member breakdown
+        # of served / failed attempts / refusals / breaker trips / fences
+        "per_member": summary["per_member"],
     }
 
 

@@ -40,7 +40,18 @@ from repro.fleet.placement import (
     policy_names,
 )
 from repro.fleet.gossip import GossipMesh
-from repro.fleet.member import ClusterUnavailable, FleetCluster
+from repro.fleet.member import (
+    ClusterUnavailable,
+    FenceToken,
+    FleetCluster,
+    StaleEpoch,
+)
+from repro.fleet.chaos import (
+    ChaosResult,
+    ChaosScenario,
+    run_fleet_chaos,
+    scenario_for_seed,
+)
 from repro.fleet.frontdoor import (
     FleetHandle,
     FleetFrontDoor,
@@ -55,10 +66,13 @@ from repro.fleet.fleet import (
 )
 
 __all__ = [
+    "ChaosResult",
+    "ChaosScenario",
     "ClusterHealth",
     "ClusterState",
     "ClusterUnavailable",
     "ConsistentHashPolicy",
+    "FenceToken",
     "Fleet",
     "FleetEnv",
     "FleetFrontDoor",
@@ -72,9 +86,12 @@ __all__ = [
     "PlacementError",
     "PlacementPolicy",
     "PlacementRequest",
+    "StaleEpoch",
     "audit_fleet",
     "get_policy",
     "make_fleet_env",
     "make_fleet_member_env",
     "policy_names",
+    "run_fleet_chaos",
+    "scenario_for_seed",
 ]

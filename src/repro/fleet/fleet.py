@@ -29,7 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional, Sequence, Type, Union
 
-from repro.cluster import ClusterSpec, CostModel
+from repro.cluster import (
+    ClusterSpec,
+    CostModel,
+    NetFaultInjector,
+    NetFaultPlan,
+)
 from repro.fe.service import ToolService
 from repro.fleet.frontdoor import FleetFrontDoor, FleetHandle
 from repro.fleet.gossip import GossipMesh
@@ -104,6 +109,11 @@ def make_fleet_env(n_clusters: int = 4, nodes_per_cluster: int = 16,
                    seed: int = 1,
                    zones: Optional[Dict[str, str]] = None,
                    costs: Optional[CostModel] = None,
+                   net_fault_plan: Optional[NetFaultPlan] = None,
+                   max_failovers: Optional[int] = None,
+                   breaker_threshold: int = 3,
+                   breaker_cooldown: float = 5.0,
+                   abandon_after: Optional[float] = None,
                    **rm_kwargs: Any) -> FleetEnv:
     """Build an N-cluster fleet on one simulator.
 
@@ -113,6 +123,12 @@ def make_fleet_env(n_clusters: int = 4, nodes_per_cluster: int = 16,
     pure function of ``seed``. Zones default to one zone per shard
     (``z0``, ``z1``, ...), which makes the locality policy's preference
     coincide with gossip adjacency -- override via ``zones``.
+
+    ``net_fault_plan`` attaches network weather to the gossip mesh (its
+    injector is seeded from ``seed``, so a chaos run is a pure function
+    of ``(seed, plan)``); the remaining knobs tune the front door's
+    partition-tolerance machinery and keep their PR 9-compatible
+    defaults when left alone.
     """
     if n_clusters < 1:
         raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
@@ -126,11 +142,17 @@ def make_fleet_env(n_clusters: int = 4, nodes_per_cluster: int = 16,
             sim, name, nodes_per_cluster, rm_cls=rm_cls, seed=seed + i,
             zone=zone, max_in_flight=member_max_in_flight, costs=costs,
             **rm_kwargs))
+    netfaults = (NetFaultInjector(net_fault_plan, seed=seed)
+                 if net_fault_plan is not None else None)
     mesh = GossipMesh(members, shard_size=shard_size,
-                      suspect_rounds=suspect_rounds)
+                      suspect_rounds=suspect_rounds, netfaults=netfaults)
     door = FleetFrontDoor(members, policy=policy, mesh=mesh,
                           max_in_flight=max_in_flight,
-                          gossip_period=gossip_period)
+                          gossip_period=gossip_period,
+                          max_failovers=max_failovers,
+                          breaker_threshold=breaker_threshold,
+                          breaker_cooldown=breaker_cooldown,
+                          abandon_after=abandon_after)
     fleet = Fleet(members, door, mesh)
     return FleetEnv(sim=sim, cluster=members[0].cluster, rm=members[0].rm,
                     fleet=fleet)
@@ -170,11 +192,13 @@ def audit_fleet(fleet: Fleet) -> dict:
     allocations (nothing leaked -- cancelled, failed-over and crashed
     sessions all returned their nodes), an empty RM request queue, and
     every service handle terminal; plus every fleet handle terminal at
-    the door.
+    the door, no fence still queued at the door, and no fenced-but-live
+    stale session on any member (split-brain re-placements fully fenced).
     """
     leaked: Dict[str, int] = {}
     queued: Dict[str, int] = {}
     unfinished: Dict[str, int] = {}
+    stale_live: Dict[str, int] = {}
     for member in fleet.members:
         if member.leaked_allocations:
             leaked[member.name] = member.leaked_allocations
@@ -183,11 +207,18 @@ def audit_fleet(fleet: Fleet) -> dict:
         open_handles = sum(1 for h in member.service.handles if not h.done)
         if open_handles:
             unfinished[member.name] = open_handles
+        stale = member.stale_live_sessions()
+        if stale:
+            stale_live[member.name] = stale
     open_requests = sum(1 for h in fleet.door.handles if not h.done)
+    pending_fences = fleet.door.pending_fences
     return {
-        "ok": not (leaked or queued or unfinished or open_requests),
+        "ok": not (leaked or queued or unfinished or open_requests
+                   or stale_live or pending_fences),
         "leaked_allocations": leaked,
         "queued_requests": queued,
         "unfinished_sessions": unfinished,
         "unfinished_requests": open_requests,
+        "stale_live_sessions": stale_live,
+        "pending_fences": pending_fences,
     }

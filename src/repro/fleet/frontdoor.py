@@ -25,6 +25,31 @@ The door is also a gossip observer: it peers with each shard head (one
 link per shard, s_group style) and drives mesh rounds from a lazy
 background process that runs only while handles are in flight -- an idle
 fleet's simulation still terminates.
+
+**Partition tolerance** (active only when the mesh carries a
+:class:`~repro.cluster.faults.NetFaultInjector`; without one every hook
+below is dormant and the door behaves exactly as described above):
+
+* **Quorum rule.** The door holds a *majority view* when its gossiped
+  view shows more than half the fleet routable. In a minority view it
+  degrades to **reject-or-local**: it only routes to members on its own
+  side of the split (data-path probe), and it never abandons/re-places
+  an in-flight request -- the other side may still be serving it.
+* **Epoch fencing.** Every attempt carries a
+  :class:`~repro.fleet.member.FenceToken` ``(request, epoch)``. When the
+  door (holding quorum) gives up on an unreachable member, it bumps the
+  epoch, queues a fence for the old member, and only then re-places --
+  so a healed minority member can never complete a launch the majority
+  already re-placed: the fence kills the stale session on delivery, and
+  a delayed duplicate submission is refused with ``StaleEpoch``.
+* **Circuit breakers + failover budget.** Per-member consecutive-failure
+  breakers take flapping members out of placement for a cooldown, and
+  ``max_failovers`` caps each request's detours -- a storm becomes a
+  bounded, audited rejection instead of an unbounded retry loop.
+* **Anti-entropy on heal.** The gossip driver keeps running rounds after
+  the last handle finishes until every queued fence is delivered (or its
+  target crashed), bounded by the fault plan's heal horizon plus the
+  mesh's convergence bound.
 """
 
 from __future__ import annotations
@@ -35,9 +60,14 @@ from repro.fe.api import FrontEndError
 from repro.fe.service import SessionHandle
 from repro.fe.session import LMONSession, SessionState
 from repro.fleet.gossip import GossipMesh
-from repro.fleet.health import FleetView
+from repro.fleet.health import ClusterState, FleetView
 from dataclasses import replace
-from repro.fleet.member import ClusterUnavailable, FleetCluster
+from repro.fleet.member import (
+    ClusterUnavailable,
+    FenceToken,
+    FleetCluster,
+    StaleEpoch,
+)
 from repro.fleet.placement import (
     PlacementPolicy,
     PlacementRequest,
@@ -51,6 +81,17 @@ __all__ = ["FleetFrontDoor", "FleetHandle", "FleetUnavailable"]
 
 class FleetUnavailable(RuntimeError):
     """No routable cluster left for a request: fleet-wide rejection."""
+
+
+class _Abandon:
+    """Interrupt cause: the door fenced this attempt and wants the
+    supervisor to re-place the request (not a client cancel)."""
+
+    def __init__(self, target: str):
+        self.target = target
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<abandon {self.target}>"
 
 
 class FleetHandle:
@@ -73,8 +114,16 @@ class FleetHandle:
         #: member names tried, in order (last one served, if any succeeded)
         self.attempts: List[str] = []
         self.failovers = 0
+        #: placement epoch; bumped by the door on every fenced re-place
+        self.epoch = 0
+        #: attempts the door fenced: (member, fenced_to_epoch, at_time)
+        self.fenced_attempts: List[tuple] = []
+        #: sessions left behind on abandoned members (fence kills them)
+        self.abandoned_sessions: List[SessionHandle] = []
         #: the current (finally: winning or last-tried) member session
         self.session_handle: Optional[SessionHandle] = None
+        #: member currently being attempted (None between attempts)
+        self._attempt_target: Optional[str] = None
         self._proc = None  # supervisor Process, set by the front door
 
     # -- future surface (mirrors SessionHandle) ------------------------------
@@ -158,7 +207,11 @@ class FleetFrontDoor:
                  mesh: Optional[GossipMesh] = None,
                  max_in_flight: Optional[int] = None,
                  gossip_period: float = 0.25,
-                 name: str = "frontdoor"):
+                 name: str = "frontdoor",
+                 max_failovers: Optional[int] = None,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown: float = 5.0,
+                 abandon_after: Optional[float] = None):
         if not members:
             raise ValueError("a fleet needs at least one member cluster")
         self.name = name
@@ -194,6 +247,34 @@ class FleetFrontDoor:
         self.handles: List[FleetHandle] = []
         self.failovers = 0
         self.rejected = 0
+        #: rejections issued while the door held only a minority view
+        self.minority_rejections = 0
+        #: fenced re-placements initiated (each bumped a handle's epoch)
+        self.abandoned = 0
+        #: failover budget per request (None: unlimited, PR 9 behavior)
+        self.max_failovers = max_failovers
+        #: consecutive failed attempts that trip a member's breaker
+        self.breaker_threshold = breaker_threshold
+        #: virtual seconds a tripped breaker keeps its member excluded
+        self.breaker_cooldown = breaker_cooldown
+        #: how long a member must look DOWN before an in-flight attempt
+        #: on it is fenced and re-placed (defaults to 2 gossip periods)
+        self.abandon_after = (abandon_after if abandon_after is not None
+                              else 2.0 * gossip_period)
+        #: member -> [consecutive_failures, open_until]
+        self._breakers: Dict[str, List[float]] = {}
+        #: queued fences awaiting a reachable target: (member, req, epoch)
+        self._pending_fences: List[tuple] = []
+        #: (handle_id, member) -> time the attempt's target first looked
+        #: DOWN in the door's view (abandonment grace clock)
+        self._suspect_since: Dict[tuple, float] = {}
+        #: handle id -> in-flight handle (reconciliation work list)
+        self._inflight: Dict[int, FleetHandle] = {}
+        #: member -> attempt/fencing counters (``summary()['per_member']``)
+        self._member_stats: Dict[str, Dict[str, int]] = {
+            name: {"served": 0, "failed_attempts": 0, "refusals": 0,
+                   "breaker_trips": 0, "fenced": 0}
+            for name in sorted(self._members)}
         self._gossip_proc = None
         self._seq = 0
         #: door-local bookkeeping of requests routed but not yet finished,
@@ -250,6 +331,45 @@ class FleetFrontDoor:
         entry[0] -= 1
         entry[1] -= n_nodes
 
+    # -- partition-tolerance state -------------------------------------------
+    @property
+    def quorum(self) -> int:
+        """Majority threshold: more than half the member fleet."""
+        return len(self._members) // 2 + 1
+
+    def has_quorum(self) -> bool:
+        """Whether the door's view shows a routable majority. A minority
+        door degrades to reject-or-local and never fences/re-places."""
+        routable = sum(1 for rec in self.view.records() if rec.routable)
+        return routable >= self.quorum
+
+    def _netfaulted(self) -> bool:
+        return self.mesh is not None and self.mesh.netfaults is not None
+
+    def _reachable(self, member: str) -> bool:
+        """Data-path probe door -> member under the current round's
+        network topology (always True without netfaults)."""
+        if self.mesh is None:
+            return True
+        return self.mesh.data_path_open(self.name, member)
+
+    def _breaker_open(self, member: str) -> bool:
+        entry = self._breakers.get(member)
+        return entry is not None and self.sim.now < entry[1]
+
+    def _breaker_failure(self, member: str) -> None:
+        entry = self._breakers.setdefault(member, [0, 0.0])
+        entry[0] += 1
+        if entry[0] >= self.breaker_threshold:
+            entry[0] = 0
+            entry[1] = self.sim.now + self.breaker_cooldown
+            self._member_stats[member]["breaker_trips"] += 1
+
+    def _breaker_success(self, member: str) -> None:
+        entry = self._breakers.get(member)
+        if entry is not None:
+            entry[0] = 0
+
     def effective_view(self) -> FleetView:
         """The gossiped view with the door's own outstanding requests
         charged on top: each member's record loses the nodes the door has
@@ -274,15 +394,38 @@ class FleetFrontDoor:
         the policy's next choices while a healthy candidate exists --
         sticky policies keep their affinity in the healthy case and
         still avoid sick clusters under pressure.
+
+        Two partition-tolerance overlays narrow the candidate set:
+        members behind an open circuit breaker are excluded while any
+        alternative exists (half-open fallback: if *every* candidate is
+        breaker-open, breakers are ignored -- bounded flap damping must
+        never cause a total outage the fleet could serve); and a door
+        holding only a minority view is **local-only**: members it
+        cannot reach on the data path are not candidates at all.
         """
         view = self.effective_view()
-        choice = self.policy.choose(request, view, tried)
+        tripped: Set[str] = {name for name in self._members
+                             if self._breaker_open(name)}
+        unreachable: Set[str] = set()
+        if self._netfaulted() and not self.has_quorum():
+            unreachable = {name for name in self._members
+                           if not self._reachable(name)}
+        base: Set[str] = set(tried)
+        base.update(tripped)
+        base.update(unreachable)
+        choice = self.policy.choose(request, view, base)
+        if choice is None and tripped - tried:
+            # half-open fallback: drop only the breaker exclusions (the
+            # minority door's local-only rule is safety, not damping)
+            base = set(tried)
+            base.update(unreachable)
+            choice = self.policy.choose(request, view, base)
         if choice is None:
             return None
         rec = view.get(choice)
         if rec is None or not rec.shunned:
             return choice
-        spill = set(tried)
+        spill = set(base)
         spill.add(choice)
         while True:
             alt = self.policy.choose(request, view, spill)
@@ -307,12 +450,23 @@ class FleetFrontDoor:
                 self._gate.cancel(gate_req)
                 handle.finished_at = self.sim.now
                 raise
+        self._inflight[handle.id] = handle
         try:
             tried: Set[str] = set()
             while True:
+                if (self.max_failovers is not None
+                        and len(handle.attempts) > self.max_failovers):
+                    # failover budget spent: bounded rejection, not a storm
+                    self.rejected += 1
+                    raise FleetUnavailable(
+                        f"failover budget exhausted for request "
+                        f"{handle.request.key!r} "
+                        f"({self.max_failovers} after {handle.attempts})")
                 target = self._place(handle.request, tried)
                 if target is None:
                     self.rejected += 1
+                    if self._netfaulted() and not self.has_quorum():
+                        self.minority_rejections += 1
                     raise FleetUnavailable(
                         f"no routable cluster for request "
                         f"{handle.request.key!r} (tried {sorted(tried)})")
@@ -321,20 +475,49 @@ class FleetFrontDoor:
                     self.failovers += 1
                 handle.attempts.append(target)
                 member = self._members[target]
+                if not self._reachable(target):
+                    # connect probe fails: partitioned off, same direct
+                    # evidence as a refused submission
+                    self.view.mark_down(target)
+                    self._breaker_failure(target)
+                    self._member_stats[target]["refusals"] += 1
+                    tried.add(target)
+                    continue
                 try:
-                    sub = member.submit_launch(app, daemon_spec,
-                                               usr_data=usr_data,
-                                               tool_name=tool_name, body=body)
+                    sub = member.submit_launch(
+                        app, daemon_spec, usr_data=usr_data,
+                        tool_name=tool_name, body=body,
+                        fence_token=FenceToken(handle.id, handle.epoch))
+                except StaleEpoch:
+                    # a fence outran this attempt; the member is healthy,
+                    # this epoch just must not start there
+                    self._member_stats[target]["refusals"] += 1
+                    tried.add(target)
+                    continue
                 except ClusterUnavailable:
                     # dead on contact: direct evidence beats gossip
                     self.view.mark_down(target)
+                    self._breaker_failure(target)
+                    self._member_stats[target]["refusals"] += 1
                     tried.add(target)
                     continue
                 handle.session_handle = sub
+                handle._attempt_target = target
                 self._note_routed(target, handle.request.n_nodes)
                 try:
                     session = yield from sub.wait()
                 except BaseException as exc:
+                    if (isinstance(exc, Interrupt) and
+                            isinstance(getattr(exc, "cause", None),
+                                       _Abandon)):
+                        # the door fenced this attempt (target looks DOWN
+                        # past the grace window): leave the stale session
+                        # to the fence and re-place the request
+                        handle.abandoned_sessions.append(sub)
+                        self._breaker_failure(target)
+                        self._member_stats[target]["failed_attempts"] += 1
+                        tried.add(target)
+                        continue
                     if not (sub.done and sub.exception is exc):
                         # the *supervisor* was interrupted (fleet-level
                         # cancel): take the live session down with it
@@ -343,17 +526,25 @@ class FleetFrontDoor:
                     if member.crashed:
                         # the member died under this session
                         self.view.mark_down(target)
+                        self._breaker_failure(target)
+                        self._member_stats[target]["failed_attempts"] += 1
                         tried.add(target)
                         continue
                     if isinstance(exc, RMError):
                         # cluster-level resource refusal: worth a failover
+                        self._breaker_failure(target)
+                        self._member_stats[target]["failed_attempts"] += 1
                         tried.add(target)
                         continue
                     raise  # tool-level failure: failover would not help
                 finally:
+                    handle._attempt_target = None
                     self._note_finished(target, handle.request.n_nodes)
+                self._breaker_success(target)
+                self._member_stats[target]["served"] += 1
                 return session
         finally:
+            del self._inflight[handle.id]
             handle.finished_at = self.sim.now
             if gate_req is not None:
                 self._gate.release()
@@ -369,10 +560,92 @@ class FleetFrontDoor:
 
     def _gossip_driver(self) -> Generator[Any, Any, None]:
         """Run mesh rounds while any request is in flight; exit when the
-        door goes quiescent (so ``sim.run()`` terminates)."""
-        while any(not h.done for h in self.handles):
+        door goes quiescent (so ``sim.run()`` terminates).
+
+        Under netfaults each round is followed by a reconciliation pass,
+        and the driver outlives the last handle while fences are still
+        queued -- bounded by the plan's heal horizon plus the mesh's
+        convergence bound, so a never-healing plan cannot wedge the run.
+        """
+        while self._driver_active():
             yield self.sim.timeout(self.gossip_period)
             self.mesh.run_round()
+            if self._netfaulted():
+                self._reconcile()
+
+    def _driver_active(self) -> bool:
+        if any(not h.done for h in self.handles):
+            return True
+        if not self._netfaulted() or not self._pending_fences:
+            return False
+        nf = self.mesh.netfaults
+        limit = (nf.last_heal_round + self.mesh.suspect_rounds
+                 + self.mesh.diameter() + 2)
+        return self.mesh.rounds_run < limit
+
+    # -- anti-entropy reconciliation (netfault runs only) --------------------
+    def reconcile(self) -> None:
+        """Run one anti-entropy pass now (harnesses call this after
+        driving mesh rounds by hand; the gossip driver calls the same
+        pass after every round it runs). A no-op without netfaults."""
+        if self._netfaulted():
+            self._reconcile()
+
+    def _reconcile(self) -> None:
+        """Post-round anti-entropy: deliver queued fences to reachable
+        members, then fence + re-place in-flight attempts whose target
+        the (majority) view has held DOWN past the grace window."""
+        self._deliver_fences()
+        now = self.sim.now
+        fresh: Dict[tuple, float] = {}
+        for hid in sorted(self._inflight):
+            handle = self._inflight[hid]
+            target = handle._attempt_target
+            if target is None:
+                continue
+            rec = self.view.get(target)
+            if rec is None or rec.state is not ClusterState.DOWN:
+                continue  # looks alive again: the suspicion clock resets
+            key = (hid, target)
+            since = self._suspect_since.get(key, now)
+            fresh[key] = since
+            if now - since < self.abandon_after:
+                continue
+            if not self.has_quorum():
+                continue  # minority door never re-places (split brain)
+            sub = handle.session_handle
+            if sub is not None and sub.done:
+                continue  # already resolved; the supervisor runs next
+            # fence-before-re-place: bump the epoch and queue the fence
+            # for the stale member, only then release the supervisor --
+            # the old attempt can never outrank the new epoch
+            handle.epoch += 1
+            self._pending_fences.append((target, handle.id, handle.epoch))
+            handle.fenced_attempts.append((target, handle.epoch, now))
+            self._member_stats[target]["fenced"] += 1
+            self.abandoned += 1
+            del fresh[key]
+            handle._proc.interrupt(_Abandon(target))
+        self._suspect_since = fresh
+
+    def _deliver_fences(self) -> None:
+        if not self._pending_fences:
+            return
+        keep: List[tuple] = []
+        for target, request, epoch in self._pending_fences:
+            member = self._members[target]
+            if member.crashed:
+                continue  # moot: the crash already killed its sessions
+            if not self._reachable(target):
+                keep.append((target, request, epoch))
+                continue
+            member.fence(request, epoch)
+        self._pending_fences = keep
+
+    @property
+    def pending_fences(self) -> int:
+        """Fences queued but not yet delivered (0 after a healed run)."""
+        return len(self._pending_fences)
 
     # -- completion ----------------------------------------------------------
     def drain(self) -> Generator[Any, Any, List[LMONSession]]:
@@ -420,6 +693,14 @@ class FleetFrontDoor:
             "failovers": sum(h.failovers for h in self.handles),
             "launch_latencies": latencies,
             "served_by": dict(sorted(per_cluster.items())),
+            "abandoned": self.abandoned,
+            "minority_rejections": self.minority_rejections,
+            "breaker_trips": sum(s["breaker_trips"]
+                                 for s in self._member_stats.values()),
+            "pending_fences": self.pending_fences,
+            "readmissions": self.view.readmissions,
+            "per_member": {name: dict(stats)
+                           for name, stats in self._member_stats.items()},
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

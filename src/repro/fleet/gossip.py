@@ -26,12 +26,22 @@ that fails to reach a neighbor for ``suspect_rounds`` consecutive rounds
 synthesizes a versioned DOWN record for it (``suspect_down``), which then
 propagates like any other digest entry. A merely-slandered member keeps
 bumping its own version and out-gossips the rumor.
+
+Network weather comes from an optional
+:class:`~repro.cluster.faults.NetFaultInjector` (``mesh.netfaults``): a
+blocked edge or a lost digest is a missed contact (feeding the same
+suspicion path a crash does -- the listener cannot tell a partition from
+a death, by design), a delayed digest is this round's snapshot merged
+late, and a duplicated digest is merged twice (idempotent by the view's
+merge-by-version). Without an injector none of these hooks run, so
+fault-free meshes behave bit-identically to the pre-netfault build.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.cluster.faults import NetFaultInjector
 from repro.fleet.health import ClusterHealth, ClusterState
 
 __all__ = ["GossipMesh"]
@@ -52,7 +62,8 @@ class GossipMesh:
     """
 
     def __init__(self, members, shard_size: int = 4,
-                 suspect_rounds: int = 3):
+                 suspect_rounds: int = 3,
+                 netfaults: Optional[NetFaultInjector] = None):
         if shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {shard_size}")
         if suspect_rounds < 1:
@@ -60,7 +71,10 @@ class GossipMesh:
                 f"suspect_rounds must be >= 1, got {suspect_rounds}")
         self.shard_size = shard_size
         self.suspect_rounds = suspect_rounds
+        self.netfaults = netfaults
         self.rounds_run = 0
+        #: in-flight delayed digests: (deliver_round, listener, snapshot)
+        self._delayed: List[tuple] = []
         self._members: Dict[str, object] = {}
         for member in members:
             if member.name in self._members:
@@ -166,6 +180,13 @@ class GossipMesh:
         """One synchronous gossip round; returns how many records were
         news somewhere in the fleet (0 == quiescent *and* converged if
         nothing external changes)."""
+        nf = self.netfaults
+        changed = 0
+        if nf is not None:
+            # round index is 0-based: the first round is round 0, so a
+            # plan with at_round=0 hits it
+            nf.begin_round(self.rounds_run)
+            changed += self._deliver_delayed(self.rounds_run)
         self.rounds_run += 1
         # phase 1: live members refresh their own record
         for name in sorted(self._members):
@@ -175,7 +196,6 @@ class GossipMesh:
         # phase 2a: snapshot digests so data moves exactly one hop/round
         digests = {p.name: p.view.records() for p in self._participants()}
         # phase 2b: every live participant pulls from each neighbor
-        changed = 0
         for participant in self._participants():
             if self._is_crashed(participant):
                 continue
@@ -185,9 +205,55 @@ class GossipMesh:
                 if self._is_crashed(peer):
                     changed += self._note_missed(participant, peer_name)
                     continue
+                if nf is not None:
+                    listener = participant.name
+                    if (nf.edge_blocked(listener, peer_name)
+                            or nf.digest_lost(listener, peer_name)):
+                        changed += self._note_missed(participant, peer_name)
+                        continue
+                    delay = nf.digest_delay(listener, peer_name)
+                    if delay:
+                        # contact made (counter resets), payload late:
+                        # this round's snapshot arrives `delay` rounds on
+                        self._missed[(listener, peer_name)] = 0
+                        self._delayed.append(
+                            (self.rounds_run - 1 + delay, listener,
+                             digests[peer_name]))
+                        continue
+                    self._missed[(listener, peer_name)] = 0
+                    changed += participant.view.merge(digests[peer_name])
+                    if nf.digest_duplicated(listener, peer_name):
+                        # second merge must be a no-op (idempotence)
+                        changed += participant.view.merge(digests[peer_name])
+                    continue
                 self._missed[(participant.name, peer_name)] = 0
                 changed += participant.view.merge(digests[peer_name])
         return changed
+
+    def _deliver_delayed(self, r: int) -> int:
+        """Merge delayed digests whose deadline is round ``r`` (stale by
+        now; safe -- merge-by-version keeps anything newer)."""
+        if not self._delayed:
+            return 0
+        due = [d for d in self._delayed if d[0] <= r]
+        if not due:
+            return 0
+        self._delayed = [d for d in self._delayed if d[0] > r]
+        changed = 0
+        for _, listener_name, snapshot in due:
+            listener = self._members.get(listener_name,
+                                         self._observers.get(listener_name))
+            if listener is not None and not self._is_crashed(listener):
+                changed += listener.view.merge(snapshot)
+        return changed
+
+    def data_path_open(self, src: str, dst: str) -> bool:
+        """Whether a direct send ``src -> dst`` (submission, fence) gets
+        through under the current round's network topology. Always True
+        without a netfault injector."""
+        if self.netfaults is None:
+            return True
+        return self.netfaults.data_path_open(src, dst)
 
     def _note_missed(self, listener, peer_name: str) -> int:
         """A failed neighbor contact; after ``suspect_rounds`` in a row
@@ -222,6 +288,28 @@ class GossipMesh:
             if self._is_crashed(participant):
                 continue
             snapshot = {rec.cluster: (rec.version, rec.state)
+                        for rec in participant.view.records()}
+            if reference is None:
+                reference = snapshot
+            elif snapshot != reference:
+                return False
+        return True
+
+    def state_converged(self) -> bool:
+        """All live participants agree on every member's *state*.
+
+        The post-heal anti-entropy fixed point for meshes with diameter
+        > 1: strict :meth:`converged` can only hold there once members
+        stop publishing (each self-report bumps a version that needs
+        ``diameter`` rounds to travel), but states settle -- within
+        ``suspect_rounds + diameter`` rounds of a heal every view calls
+        the same members UP and the same members DOWN.
+        """
+        reference: Optional[dict] = None
+        for participant in self._participants():
+            if self._is_crashed(participant):
+                continue
+            snapshot = {rec.cluster: rec.state
                         for rec in participant.view.records()}
             if reference is None:
                 reference = snapshot

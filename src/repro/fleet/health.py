@@ -94,6 +94,9 @@ class FleetView:
 
     def __init__(self, records: Iterable[ClusterHealth] = ()):
         self._records: Dict[str, ClusterHealth] = {}
+        #: times a DOWN record was displaced by a live higher-version one
+        #: -- each is a shunned/suspected member re-admitted after heal
+        self.readmissions = 0
         for rec in records:
             self._records[rec.cluster] = rec
 
@@ -133,6 +136,9 @@ class FleetView:
         cur = self._records.get(rec.cluster)
         if cur is not None and cur.version >= rec.version:
             return False
+        if (cur is not None and cur.state is ClusterState.DOWN
+                and rec.state is not ClusterState.DOWN):
+            self.readmissions += 1
         self._records[rec.cluster] = rec
         return True
 

@@ -16,7 +16,8 @@ existing FE cleanup paths return every allocation to the RM.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Type
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Type
 
 from repro.cluster import Cluster, ClusterSpec, CostModel
 from repro.fe.service import SessionHandle, ToolService
@@ -24,11 +25,36 @@ from repro.fleet.health import ClusterHealth, ClusterState, FleetView
 from repro.rm import ResourceManager, SlurmRM
 from repro.simx import Simulator
 
-__all__ = ["ClusterUnavailable", "FleetCluster"]
+__all__ = ["ClusterUnavailable", "FenceToken", "FleetCluster", "StaleEpoch"]
 
 
 class ClusterUnavailable(RuntimeError):
     """Submission refused: the member cluster is crashed/unreachable."""
+
+
+class StaleEpoch(ClusterUnavailable):
+    """Submission refused: the request's placement epoch was fenced.
+
+    A member that has accepted ``fence(request, epoch)`` refuses any
+    submission of that request carrying an older epoch -- the guarantee
+    that makes re-placement safe: a delayed duplicate of an abandoned
+    attempt can never start work the fleet has already moved elsewhere.
+    """
+
+
+@dataclass(frozen=True)
+class FenceToken:
+    """Placement epoch for one fleet request attempt.
+
+    The front door bumps ``epoch`` every time it abandons an attempt and
+    re-places the request; members honor the highest epoch they have been
+    fenced to (:meth:`FleetCluster.fence`). Tokens make placement
+    at-most-once-per-epoch: the pair ``(request, epoch)`` identifies
+    exactly one attempt, fleet-wide.
+    """
+
+    request: int
+    epoch: int
 
 
 class FleetCluster:
@@ -55,6 +81,19 @@ class FleetCluster:
         #: operator override: report DEGRADED regardless of blacklist state
         self.degraded = False
         self._version = 0
+        #: fencing registry: request id -> highest epoch fenced so far
+        #: (submissions below it are refused with :class:`StaleEpoch`)
+        self._fence_epochs: Dict[int, int] = {}
+        #: (request, epoch) -> the session each fenced submission started
+        self._epoch_sessions: Dict[Tuple[int, int], SessionHandle] = {}
+        #: fencing outcomes (the chaos audit's raw material)
+        self.fence_stats: Dict[str, int] = {
+            "fences_received": 0,
+            "fenced_kills": 0,       # live stale sessions cancelled
+            "stale_completions": 0,  # stale sessions already finished
+        }
+        #: chronological fence record: (time, request, epoch)
+        self.fence_log: List[tuple] = []
         self.view.put(self.publish_health())
 
     @classmethod
@@ -100,11 +139,65 @@ class FleetCluster:
         )
 
     # -- serving -------------------------------------------------------------
-    def submit_launch(self, *args: Any, **kwargs: Any) -> SessionHandle:
-        """Delegate to the member's ToolService, unless crashed."""
+    def submit_launch(self, *args: Any,
+                      fence_token: Optional[FenceToken] = None,
+                      **kwargs: Any) -> SessionHandle:
+        """Delegate to the member's ToolService, unless crashed.
+
+        With a ``fence_token`` the submission is epoch-checked: if this
+        member has been fenced past the token's epoch the attempt is
+        refused with :class:`StaleEpoch`, and the session it starts is
+        recorded so a later fence can find (and kill) it.
+        """
         if self.crashed:
             raise ClusterUnavailable(f"cluster {self.name} is down")
-        return self.service.submit_launch(*args, **kwargs)
+        if fence_token is not None:
+            floor = self._fence_epochs.get(fence_token.request, -1)
+            if fence_token.epoch < floor:
+                raise StaleEpoch(
+                    f"cluster {self.name}: request {fence_token.request} "
+                    f"epoch {fence_token.epoch} fenced (floor {floor})")
+        handle = self.service.submit_launch(*args, **kwargs)
+        if fence_token is not None:
+            self._epoch_sessions[
+                (fence_token.request, fence_token.epoch)] = handle
+        return handle
+
+    def fence(self, request: int, epoch: int) -> int:
+        """Fence ``request`` up to ``epoch``: refuse older submissions
+        from now on, kill any live session an older epoch started here,
+        and count already-finished stale attempts (shadow completions the
+        majority re-placed -- the split-brain audit's key number).
+        Returns how many live sessions were killed. Idempotent."""
+        cur = self._fence_epochs.get(request, -1)
+        if epoch <= cur:
+            return 0
+        self._fence_epochs[request] = epoch
+        self.fence_stats["fences_received"] += 1
+        self.fence_log.append((self.sim.now, request, epoch))
+        killed = 0
+        for (req, ep), handle in sorted(self._epoch_sessions.items()):
+            if req != request or ep >= epoch:
+                continue
+            if handle.done:
+                if handle.exception is None:
+                    self.fence_stats["stale_completions"] += 1
+                continue
+            if handle.cancel(reason=f"fenced: request {request} "
+                                    f"re-placed at epoch {epoch}"):
+                self.fence_stats["fenced_kills"] += 1
+                killed += 1
+        return killed
+
+    def stale_live_sessions(self) -> int:
+        """Sessions below this member's fence floors that are still not
+        done -- must be 0 once fences have been delivered and the
+        simulation has quiesced (chaos audit invariant)."""
+        count = 0
+        for (req, ep), handle in self._epoch_sessions.items():
+            if ep < self._fence_epochs.get(req, -1) and not handle.done:
+                count += 1
+        return count
 
     def crash(self) -> int:
         """The whole cluster drops off the fleet; returns how many

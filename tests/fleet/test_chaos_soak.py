@@ -1,0 +1,43 @@
+"""Fleet partition-chaos soak: seeded storm schedules across every
+variant (minority split, asymmetric links, flap + message weather,
+split + member crash, door-in-minority), asserting the standing
+invariants on every single run: zero double allocations, zero leaked
+nodes, bounded failover, post-heal view convergence.
+
+``FLEETCHAOS_SOAK_ITERS`` overrides the storm count (CI runs a reduced
+soak; the default matches the acceptance bar of 200 storms).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.fleet.chaos import run_fleet_chaos, scenario_for_seed
+
+SOAK_ITERS = int(os.environ.get("FLEETCHAOS_SOAK_ITERS", "200"))
+
+
+def test_fleet_chaos_soak():
+    failures = []
+    totals = {"abandoned": 0, "fences": 0, "fenced_kills": 0,
+              "stale_done": 0, "readmissions": 0, "minority_rej": 0}
+    for seed in range(SOAK_ITERS):
+        res = run_fleet_chaos(scenario_for_seed(seed))
+        totals["abandoned"] += res.abandoned
+        totals["fences"] += res.fences_delivered
+        totals["fenced_kills"] += res.fenced_kills
+        totals["stale_done"] += res.stale_completions
+        totals["readmissions"] += res.readmissions
+        totals["minority_rej"] += res.minority_rejections
+        if not (res.ok and res.double_allocations == 0 and res.leaked == 0
+                and res.converged
+                and res.max_request_failovers <= res.scenario.max_failovers):
+            failures.append((seed, res.as_dict()))
+    assert not failures, f"{len(failures)} bad storms: {failures[:3]}"
+    # the soak must exercise the fencing machinery, not just ride out
+    # storms that never strand an attempt
+    assert totals["abandoned"] > 0
+    assert totals["fences"] > 0
+    assert totals["readmissions"] > 0
+    if SOAK_ITERS >= 100:
+        assert totals["fenced_kills"] + totals["stale_done"] > 0

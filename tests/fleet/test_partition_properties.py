@@ -1,0 +1,75 @@
+"""Hypothesis properties for partition tolerance: arbitrary seeded
+netsplit schedules can never double-allocate, and views always
+reconverge within ``suspect_rounds + diameter`` rounds of heal.
+
+The chaos harness's scripted variants cover the storms we thought of;
+these properties cover the ones we did not: Hypothesis draws arbitrary
+two-sided splits of the fleet (any subset of members and/or the front
+door vs the rest), arbitrary onset/heal windows -- optionally two
+back-to-back windows with different sides -- and an arbitrary traffic
+seed, then holds every run to the same invariants the soak audits:
+
+* **zero double allocations** -- every fenced re-placement bumped the
+  epoch first, no stale session outlives its fence, no abandoned
+  session is left non-terminal, no fence goes undelivered;
+* **zero leaked nodes** -- every member RM ledger drains to empty;
+* **reconvergence** -- the harness runs exactly ``suspect_rounds +
+  diameter`` rounds past the last heal and requires state agreement,
+  so a passing run *is* the bound, not an eventually-converges claim.
+
+Derandomized like the placement properties: a chaos run is a pure
+function of (seed, plan), so its property tests may as well be pure
+functions of the source tree.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import NetFaultPlan, NetPartition
+from repro.fleet import ChaosScenario, run_fleet_chaos
+
+PARTICIPANTS = ("c0", "c1", "c2", "c3", "c4", "frontdoor")
+
+sides = st.sets(st.sampled_from(PARTICIPANTS), min_size=1,
+                max_size=len(PARTICIPANTS) - 1)
+onsets = st.integers(min_value=0, max_value=4)
+durations = st.integers(min_value=1, max_value=6)
+seeds = st.integers(min_value=0, max_value=2 ** 16)
+
+
+def _split(side, at_round, duration):
+    other = tuple(sorted(set(PARTICIPANTS) - side))
+    return NetPartition(groups=(tuple(sorted(side)), other),
+                        at_round=at_round, heal_round=at_round + duration)
+
+
+def _run(seed, partitions):
+    scenario = ChaosScenario(
+        seed=seed, variant="property",
+        plan=NetFaultPlan(partitions=tuple(partitions)))
+    return run_fleet_chaos(scenario)
+
+
+class TestPartitionScheduleProperties:
+    @settings(derandomize=True, max_examples=25, deadline=None)
+    @given(seed=seeds, side=sides, at_round=onsets, duration=durations)
+    def test_any_single_split_is_safe_and_reconverges(
+            self, seed, side, at_round, duration):
+        res = _run(seed, [_split(side, at_round, duration)])
+        assert res.double_allocations == 0, res.failures
+        assert res.leaked == 0, res.failures
+        assert res.converged, res.failures
+        assert res.ok, res.failures
+
+    @settings(derandomize=True, max_examples=15, deadline=None)
+    @given(seed=seeds, side_a=sides, side_b=sides,
+           at_round=onsets, dur_a=durations, dur_b=durations,
+           gap=st.integers(min_value=0, max_value=3))
+    def test_back_to_back_splits_are_safe_and_reconverge(
+            self, seed, side_a, side_b, at_round, dur_a, dur_b, gap):
+        first = _split(side_a, at_round, dur_a)
+        second = _split(side_b, at_round + dur_a + gap, dur_b)
+        res = _run(seed, [first, second])
+        assert res.double_allocations == 0, res.failures
+        assert res.leaked == 0, res.failures
+        assert res.converged, res.failures
+        assert res.ok, res.failures
